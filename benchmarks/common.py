@@ -1,0 +1,83 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+paper's full 8x8x2 mesh, with the L2 capacity (and the synthetic working
+sets with it) scaled by ``CAPACITY_SCALE`` and a measurement window of
+``CYCLES`` cycles after ``WARMUP`` -- a pure-Python cycle simulator
+cannot run 50M instructions per core (see DESIGN.md, "Substitutions").
+
+Simulation results are memoised per (scheme, workload, overrides) so the
+figures that share scenario runs (6, 7, 8) pay for them once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.config import Scheme, make_config, with_write_buffer
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.mixes import Workload, homogeneous
+
+MESH_WIDTH = 8
+CAPACITY_SCALE = 1 / 16
+CYCLES = 2500
+WARMUP = 1000
+SEED = 1
+
+#: Application subsets used for the figure reproductions (the paper
+#: plots more columns of the same suites; these span the read/write and
+#: bursty/calm corners).
+SERVER_APPS = ("tpcc", "sjas", "sap", "sjbb")
+PARSEC_APPS = ("sclust", "ferret", "canneal", "x264")
+SPEC_APPS = ("lbm", "hmmer", "mcf", "libquantum")
+
+_result_cache: Dict[Tuple, SimulationResult] = {}
+
+
+def run_app(scheme: Scheme, app: str, cycles: int = CYCLES,
+            warmup: int = WARMUP, seed: int = SEED,
+            **overrides) -> SimulationResult:
+    """Run one application homogeneously under one scheme (memoised)."""
+    key = ("app", scheme, app, cycles, warmup, seed,
+           tuple(sorted(overrides.items())))
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    params = dict(mesh_width=MESH_WIDTH, capacity_scale=CAPACITY_SCALE)
+    params.update(overrides)
+    add_write_buffer = params.pop("_write_buffer", False)
+    config = make_config(scheme, **params)
+    if add_write_buffer:
+        config = with_write_buffer(config)
+    sim = CMPSimulator(config, homogeneous(app, config, seed=seed))
+    result = sim.run(cycles, warmup=warmup)
+    _result_cache[key] = result
+    return result
+
+
+def run_mix(scheme: Scheme, workload_factory, name: str,
+            cycles: int = CYCLES, warmup: int = WARMUP,
+            **overrides) -> SimulationResult:
+    """Run a multi-programmed mix under one scheme (memoised)."""
+    key = ("mix", scheme, name, cycles, warmup,
+           tuple(sorted(overrides.items())))
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    params = dict(mesh_width=MESH_WIDTH, capacity_scale=CAPACITY_SCALE)
+    params.update(overrides)
+    config = make_config(scheme, **params)
+    sim = CMPSimulator(config, workload_factory(config))
+    result = sim.run(cycles, warmup=warmup)
+    _result_cache[key] = result
+    return result
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def scheme_label(scheme: Scheme) -> str:
+    return scheme.value

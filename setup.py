@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The sandboxed evaluation environment has no network access and no
+``wheel`` package, so PEP 517/660 editable installs cannot build an
+editable wheel.  ``pip install -e .`` falls back to this classic
+``setup.py develop`` path (metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

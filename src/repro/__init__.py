@@ -1,0 +1,43 @@
+"""repro: reproduction of "Architecting On-Chip Interconnects for
+Stacked 3D STT-RAM Caches in CMPs" (Mishra et al., ISCA 2011).
+
+A pure-Python cycle-level model of a two-layer 3D CMP -- 64 cores over
+64 STT-RAM L2 cache banks connected by a wormhole-switched NoC -- plus
+the paper's network-level write-latency mitigation: region/TSB
+serialisation, busy-duration estimation (SS/RCA/WB) and bank-aware
+router arbitration.
+
+Quickstart::
+
+    from repro import Scheme, app_factory, compare_schemes
+
+    cmp_ = compare_schemes(app_factory("tpcc"), "tpcc", mesh_width=4,
+                           capacity_scale=1 / 64)
+    print(cmp_.normalized_throughput())
+"""
+
+from repro.sim import (
+    ALL_SCHEMES, CacheTechnology, CMPSimulator, Estimator, Scheme,
+    SchemeComparison, SimulationResult, SystemConfig, TSBPlacement,
+    WriteBufferConfig, app_factory, compare_schemes, instruction_throughput,
+    make_config, max_slowdown, run_scheme, run_workload, weighted_speedup,
+    with_extra_vc, with_write_buffer,
+)
+from repro.workloads import (
+    BenchmarkSpec, Workload, all_benchmarks, case1, case2, case3_mixes,
+    get_benchmark, homogeneous, mix, suite_benchmarks,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "Scheme", "ALL_SCHEMES", "CacheTechnology",
+    "Estimator", "TSBPlacement", "WriteBufferConfig", "make_config",
+    "with_write_buffer", "with_extra_vc", "CMPSimulator",
+    "SimulationResult", "SchemeComparison", "compare_schemes",
+    "run_scheme", "run_workload", "app_factory",
+    "instruction_throughput", "weighted_speedup", "max_slowdown",
+    "BenchmarkSpec", "get_benchmark", "suite_benchmarks",
+    "all_benchmarks", "Workload", "homogeneous", "mix", "case1", "case2",
+    "case3_mixes", "__version__",
+]

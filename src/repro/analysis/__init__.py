@@ -1,0 +1,21 @@
+"""Analysis tooling: Figure 3 distributions, Figure 7 breakdowns, tables."""
+
+from repro.analysis.access_dist import (
+    FIG3_BINS, AccessDistribution, access_distribution,
+    average_requests_at_distance, distribution_for_app,
+)
+from repro.analysis.breakdown import (
+    LatencyBreakdown, breakdown_of, normalized_breakdowns,
+)
+from repro.analysis.tables import (
+    format_histogram, format_table, normalized_series,
+)
+from repro.analysis.utilization import LinkSample, LinkUtilizationProbe
+
+__all__ = [
+    "FIG3_BINS", "AccessDistribution", "access_distribution",
+    "average_requests_at_distance", "distribution_for_app",
+    "LatencyBreakdown", "breakdown_of", "normalized_breakdowns",
+    "format_table", "format_histogram", "normalized_series",
+    "LinkSample", "LinkUtilizationProbe",
+]

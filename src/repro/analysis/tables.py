@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark/analysis output.
+
+The benchmark harness prints the same rows the paper's tables and figure
+series report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render an aligned fixed-width table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in rendered_rows)
+    return "\n".join(parts)
+
+
+def normalized_series(results: Mapping, metric) -> Dict:
+    """Normalise ``metric(result)`` per key to the first key's value."""
+    keys = list(results)
+    if not keys:
+        return {}
+    base = metric(results[keys[0]])
+    if base == 0:
+        return {k: 0.0 for k in keys}
+    return {k: metric(results[k]) / base for k in keys}
+
+
+def format_histogram(labels: Sequence[str], percentages: Sequence[float],
+                     width: int = 40, title: Optional[str] = None) -> str:
+    """ASCII bar rendering of a Figure 3-style histogram."""
+    peak = max(percentages) if percentages else 0.0
+    parts = [title] if title else []
+    for label, pct in zip(labels, percentages):
+        bar = "#" * (int(width * pct / peak) if peak else 0)
+        parts.append(f"{label:>6} {pct:5.1f}% {bar}")
+    return "\n".join(parts)

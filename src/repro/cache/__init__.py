@@ -1,0 +1,23 @@
+"""Cache hierarchy substrate: arrays, banks, coherence, memory."""
+
+from repro.cache.arrays import CacheArray
+from repro.cache.bank import BankController, BankStats
+from repro.cache.coherence import Directory, DirectoryEntry
+from repro.cache.device import (
+    SRAM_1MB, STTRAM_4MB, MemoryDevice, comparison_table, device_for,
+)
+from repro.cache.memory import MemoryController, mc_for_block
+from repro.cache.messages import (
+    AckMsg, CoherenceMsg, CoherenceOp, MemMsg, Transaction,
+)
+from repro.cache.hybrid import HybridPartition
+from repro.cache.mshr import MSHRFile
+from repro.cache.write_buffer import WriteBuffer
+
+__all__ = [
+    "CacheArray", "BankController", "BankStats", "Directory",
+    "DirectoryEntry", "MemoryDevice", "SRAM_1MB", "STTRAM_4MB",
+    "device_for", "comparison_table", "MemoryController", "mc_for_block",
+    "AckMsg", "CoherenceMsg", "CoherenceOp", "MemMsg", "Transaction",
+    "MSHRFile", "WriteBuffer", "HybridPartition",
+]

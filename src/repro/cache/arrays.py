@@ -1,0 +1,128 @@
+"""Set-associative tag arrays with LRU replacement.
+
+Shared by the private L1 caches and the banked shared L2.  Arrays are
+addressed in *block* units: callers pass block numbers (byte address
+divided by the block size) and the array handles set indexing, hit/miss
+determination, fills, evictions, invalidations and dirty tracking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class CacheArray:
+    """An LRU set-associative cache tag/state array.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        associativity: Ways per set.
+        block_bytes: Cache-line size.
+        name: For diagnostics.
+        index_stride: Divisor applied to the block number before set
+            indexing.  A bank of a block-interleaved shared cache only
+            sees blocks with ``block % n_banks == bank``; its set index
+            must therefore come from the bits *above* the bank-select
+            bits (``index_stride = n_banks``) or all blocks alias into
+            ``n_sets / n_banks`` sets.
+    """
+
+    def __init__(self, capacity_bytes: int, associativity: int,
+                 block_bytes: int, name: str = "cache",
+                 index_stride: int = 1):
+        if capacity_bytes < associativity * block_bytes:
+            raise ConfigError(
+                f"{name}: capacity {capacity_bytes} below one set"
+            )
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.n_blocks = capacity_bytes // block_bytes
+        self.n_sets = max(1, self.n_blocks // associativity)
+        self.name = name
+        self.index_stride = max(1, index_stride)
+        #: each set maps block -> dirty flag, in LRU order (MRU last)
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_of(self, block: int) -> OrderedDict:
+        return self._sets[(block // self.index_stride) % self.n_sets]
+
+    def lookup(self, block: int, touch: bool = True) -> bool:
+        """Hit test; updates LRU order and hit/miss counters."""
+        entry = self._set_of(block)
+        if block in entry:
+            self.hits += 1
+            if touch:
+                entry.move_to_end(block)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Presence test without statistics or LRU side effects."""
+        return block in self._set_of(block)
+
+    def is_dirty(self, block: int) -> bool:
+        return self._set_of(block).get(block, False)
+
+    def mark_dirty(self, block: int) -> None:
+        entry = self._set_of(block)
+        if block in entry:
+            entry[block] = True
+            entry.move_to_end(block)
+
+    def mark_clean(self, block: int) -> None:
+        entry = self._set_of(block)
+        if block in entry:
+            entry[block] = False
+
+    def fill(self, block: int, dirty: bool = False
+             ) -> Optional[Tuple[int, bool]]:
+        """Insert a block; return ``(victim_block, victim_dirty)`` if an
+        eviction was necessary, else None."""
+        entry = self._set_of(block)
+        if block in entry:
+            entry[block] = entry[block] or dirty
+            entry.move_to_end(block)
+            return None
+        victim = None
+        if len(entry) >= self.associativity:
+            victim_block, victim_dirty = entry.popitem(last=False)
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+            victim = (victim_block, victim_dirty)
+        entry[block] = dirty
+        return victim
+
+    def invalidate(self, block: int) -> Tuple[bool, bool]:
+        """Remove a block; return ``(was_present, was_dirty)``."""
+        entry = self._set_of(block)
+        if block in entry:
+            dirty = entry.pop(block)
+            return True, dirty
+        return False, False
+
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def resident_blocks(self):
+        """Iterate over all resident block numbers (for invariants)."""
+        for entry in self._sets:
+            yield from entry.keys()

@@ -1,0 +1,73 @@
+"""Hybrid SRAM/STT-RAM bank partition (extension).
+
+The paper's related work mitigates the STT-RAM write penalty with
+*hybrid* designs: a few SRAM ways per set absorb write-hot blocks while
+the dense STT-RAM ways hold the read-mostly majority (Sun et al.
+HPCA'09, Qureshi et al.).  This module models that partition at the
+granularity the bank controller needs:
+
+* writes allocate into the SRAM partition and complete at SRAM speed;
+* reads hit either partition;
+* a dirty block evicted from the SRAM partition migrates into the
+  STT-RAM array, charging one full STT-RAM write.
+
+Enable with ``SystemConfig(hybrid_sram_ways=n)``; the main array keeps
+its full capacity, so the hybrid adds area exactly like the paper's
+write-buffer comparator does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.arrays import CacheArray
+from repro.sim.config import SRAM_WRITE_CYCLES, SystemConfig
+
+
+class HybridPartition:
+    """The SRAM way-group of a hybrid bank."""
+
+    def __init__(self, config: SystemConfig, bank: int):
+        n_sets = max(
+            1,
+            config.l2_bank_bytes
+            // (config.block_bytes * config.l2_associativity),
+        )
+        ways = config.hybrid_sram_ways
+        self.array = CacheArray(
+            n_sets * ways * config.block_bytes, ways,
+            config.block_bytes, name=f"L2hybrid[{bank}]",
+            index_stride=config.n_banks,
+        )
+        self.write_cycles = SRAM_WRITE_CYCLES
+        self.writes_absorbed = 0
+        self.read_hits = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: int) -> bool:
+        hit = self.array.contains(block)
+        if hit:
+            self.array.lookup(block)  # refresh LRU
+            self.read_hits += 1
+        return hit
+
+    def absorb_write(self, block: int) -> Optional[Tuple[int, bool]]:
+        """Install a written block in the SRAM partition.
+
+        Returns a dirty victim ``(block, True)`` that must migrate into
+        the STT-RAM array, or None.
+        """
+        victim = self.array.fill(block, dirty=True)
+        self.writes_absorbed += 1
+        if victim is not None and victim[1]:
+            self.migrations += 1
+            return victim
+        return None
+
+    def invalidate(self, block: int) -> Tuple[bool, bool]:
+        return self.array.invalidate(block)
+
+    def occupancy(self) -> int:
+        return self.array.occupancy()

@@ -1,0 +1,166 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro run --app tpcc --scheme MRAM-4TSB-WB
+    python -m repro compare --app tpcc --mesh-width 8
+    python -m repro table3
+    python -m repro fig3 --app tpcc
+    python -m repro list
+
+All experiment subcommands accept ``--mesh-width``, ``--capacity-scale``,
+``--cycles``, ``--warmup`` and ``--seed``; ``run`` also accepts
+``--json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.access_dist import distribution_for_app
+from repro.analysis.tables import format_histogram, format_table
+from repro.sim.config import ALL_SCHEMES, Scheme, make_config
+from repro.sim.experiment import app_factory, compare_schemes, run_scheme
+from repro.workloads.benchmarks import (
+    all_benchmarks, characterization_table,
+)
+
+_SCHEME_BY_NAME = {s.value: s for s in ALL_SCHEMES}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mesh-width", type=int, default=8)
+    parser.add_argument("--capacity-scale", type=float, default=1 / 16)
+    parser.add_argument("--cycles", type=int, default=2500)
+    parser.add_argument("--warmup", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _overrides(args) -> dict:
+    return dict(mesh_width=args.mesh_width,
+                capacity_scale=args.capacity_scale)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STT-RAM NoC reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scheme on one app")
+    run_p.add_argument("--app", required=True)
+    run_p.add_argument("--scheme", default=Scheme.STTRAM_4TSB_WB.value,
+                       choices=sorted(_SCHEME_BY_NAME))
+    run_p.add_argument("--json", action="store_true")
+    _add_common(run_p)
+
+    cmp_p = sub.add_parser("compare",
+                           help="run all six schemes on one app")
+    cmp_p.add_argument("--app", required=True)
+    _add_common(cmp_p)
+
+    sub.add_parser("table3", help="print the Table 3 characterisation")
+
+    fig3_p = sub.add_parser("fig3",
+                            help="print an app's Figure 3 histogram")
+    fig3_p.add_argument("--app", required=True)
+    _add_common(fig3_p)
+
+    sub.add_parser("list", help="list benchmarks and schemes")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    scheme = _SCHEME_BY_NAME[args.scheme]
+    result = run_scheme(
+        scheme, app_factory(args.app, seed=args.seed),
+        cycles=args.cycles, warmup=args.warmup, **_overrides(args),
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    summary = result.to_dict()
+    rows = [[k, round(v, 4) if isinstance(v, float) else v]
+            for k, v in summary.items() if not isinstance(v, dict)]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.app} under {scheme.value}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    comparison = compare_schemes(
+        app_factory(args.app, seed=args.seed), args.app,
+        cycles=args.cycles, warmup=args.warmup, **_overrides(args),
+    )
+    throughput = comparison.normalized_throughput()
+    energy = comparison.normalized_energy()
+    rows = []
+    for scheme in ALL_SCHEMES:
+        result = comparison.results[scheme]
+        rows.append([
+            scheme.value, round(throughput[scheme], 3),
+            round(result.avg_bank_queue_wait, 1),
+            round(result.avg_packet_latency, 1),
+            round(energy[scheme], 3),
+        ])
+    print(format_table(
+        ["scheme", "throughput", "bank queue", "pkt latency", "energy"],
+        rows, title=f"{args.app}: normalised to SRAM-64TSB"))
+    return 0
+
+
+def _cmd_table3(_args) -> int:
+    rows = characterization_table()
+    headers = list(rows[0].keys())
+    print(format_table(headers,
+                       [[r[h] for h in headers] for r in rows],
+                       title="Table 3: application characterisation"))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    dist = distribution_for_app(
+        args.app, mesh_width=args.mesh_width,
+        capacity_scale=args.capacity_scale, cycles=args.cycles,
+        warmup=args.warmup,
+    )
+    labels = ["<16", "<33", "<66", "<99", "<132", "<165", "165+"]
+    print(format_histogram(
+        labels, dist.percentages,
+        title=f"{args.app}: gaps after a same-bank write "
+              f"(queued {100 * dist.queued_fraction():.1f}%)"))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("schemes:")
+    for scheme in ALL_SCHEMES:
+        print(f"  {scheme.value}")
+    print("benchmarks:")
+    for spec in all_benchmarks():
+        kind = "bursty" if spec.bursty else "calm"
+        print(f"  {spec.name:12s} [{spec.suite}] "
+              f"l1mpki={spec.l1mpki:<7} {kind}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "table3": _cmd_table3,
+    "fig3": _cmd_fig3,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

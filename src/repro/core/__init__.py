@@ -1,0 +1,22 @@
+"""The paper's contribution: STT-RAM-aware NoC scheduling.
+
+Region/TSB partitioning of the cache layer, per-parent busy-duration
+tracking, the SS/RCA/WB congestion estimators, the bank-aware router
+arbiter, and flit combining over widened TSBs.
+"""
+
+from repro.core.arbitration import BankAwareArbiter, RoundRobinArbiter
+from repro.core.busy import BankBusyTracker
+from repro.core.combining import FlitCombiner
+from repro.core.estimators import (
+    CongestionEstimator, RegionalCongestionEstimator, SimplisticEstimator,
+    WindowEstimator, make_estimator,
+)
+from repro.core.regions import Region, RegionMap, build_region_map
+
+__all__ = [
+    "BankAwareArbiter", "RoundRobinArbiter", "BankBusyTracker",
+    "FlitCombiner", "CongestionEstimator", "SimplisticEstimator",
+    "RegionalCongestionEstimator", "WindowEstimator", "make_estimator",
+    "Region", "RegionMap", "build_region_map",
+]

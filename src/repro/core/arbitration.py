@@ -1,0 +1,190 @@
+"""Router arbitration policies: round-robin and STT-RAM bank-aware.
+
+The paper's mechanism (Sections 3.1-3.2) replaces the local, memory-
+technology-oblivious round-robin arbiter with one that, at *parent*
+routers, withholds request packets headed to a predicted-busy child bank
+and instead grants the crossbar/VC to requests for idle banks, coherence
+traffic and memory-controller traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.busy import BankBusyTracker
+from repro.core.estimators import CongestionEstimator
+from repro.core.regions import RegionMap
+from repro.noc.packet import Packet, PacketClass
+from repro.sim.config import SystemConfig
+
+# An arbitration entry as kept by the router output queues:
+# [in_port, vc, packet, arrival_cycle]
+ENTRY_PKT = 2
+ENTRY_ARRIVAL = 3
+
+
+class RoundRobinArbiter:
+    """Oblivious baseline: rotate over the requesting (port, vc) pairs."""
+
+    name = "rr"
+
+    def __init__(self):
+        self._pointers = {}
+        self.network = None
+
+    def bind(self, network) -> None:
+        """Give the arbiter access to live router state."""
+        self.network = network
+
+    def on_forward(self, node: int, pkt: Packet, now: int,
+                   out_port: int) -> None:
+        """Hook invoked for every forwarded packet (no-op for RR)."""
+
+    def choose(self, node: int, out_port: int, entries: List[list],
+               now: int) -> Optional[int]:
+        """Pick the index of the winning entry, or None to idle.
+
+        ``entries`` only contains candidates that are ready and whose
+        downstream VC is available.
+        """
+        if not entries:
+            return None
+        key = (node, out_port)
+        pointer = self._pointers.get(key, 0)
+        # Rotate over (in_port, vc) identities for classic RR fairness.
+        order = sorted(
+            range(len(entries)),
+            key=lambda i: ((entries[i][0] * 64 + entries[i][1]
+                            - pointer) % 4096),
+        )
+        winner = order[0]
+        self._pointers[key] = (
+            entries[winner][0] * 64 + entries[winner][1] + 1
+        ) % 4096
+        return winner
+
+
+class BankAwareArbiter(RoundRobinArbiter):
+    """STT-RAM-aware packet re-ordering at parent routers (Section 3.2).
+
+    At a parent router, a ``REQUEST`` whose destination bank is one of the
+    parent's children and is predicted busy at the packet's arrival time
+    is *delayed*: it is removed from the candidate pool while any other
+    candidate exists, and the output is left idle rather than feeding a
+    busy bank when only delayed candidates remain.  A starvation valve
+    releases any packet delayed longer than ``max_delay_cycles``.
+
+    Non-parent routers fall back to plain round-robin.
+    """
+
+    name = "bank-aware"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        region_map: RegionMap,
+        tracker: BankBusyTracker,
+        estimator: CongestionEstimator,
+    ):
+        super().__init__()
+        self.config = config
+        self.region_map = region_map
+        self.tracker = tracker
+        self.estimator = estimator
+        self.hop_distance = config.parent_hop_distance
+        self.max_delay = config.max_delay_cycles
+        #: instrumentation
+        self.packets_delayed = 0
+        self.delay_cycles = 0
+        self.reorders = 0
+        self.vc_pressure_releases = 0
+        #: Delay a packet only while its input port retains at least this
+        #: many free VCs: the paper buffers delayed requests in the
+        #: *available* VCs, and parking packets on a starved port would
+        #: block unrelated through-traffic (tree saturation).
+        self.min_free_vcs = config.arbiter_min_free_vcs
+        self.read_priority = config.arbiter_read_priority
+        self._children = region_map.children_of
+
+    # ------------------------------------------------------------------
+
+    def _is_managed(self, node: int, pkt: Packet) -> bool:
+        if pkt.klass is not PacketClass.REQUEST or pkt.bank is None:
+            return False
+        children = self._children.get(node)
+        return children is not None and pkt.bank in children
+
+    def on_forward(self, node: int, pkt: Packet, now: int,
+                   out_port: int) -> None:
+        """Charge the busy tracker and let the estimator tag packets."""
+        if not self._is_managed(node, pkt):
+            return
+        est = self.estimator.congestion_estimate(node, pkt.bank, now)
+        hops = self.region_map.expected_child_distance(pkt.bank)
+        self.tracker.charge(pkt, now, hops, est)
+        self.estimator.on_forward(node, pkt, now)
+
+    def choose(self, node: int, out_port: int, entries: List[list],
+               now: int) -> Optional[int]:
+        if not entries:
+            return None
+        if node not in self._children:
+            return super().choose(node, out_port, entries, now)
+
+        router = (
+            self.network.routers[node] if self.network is not None else None
+        )
+        eligible: List[int] = []
+        delayed: List[int] = []
+        for i, entry in enumerate(entries):
+            pkt = entry[ENTRY_PKT]
+            if self._is_managed(node, pkt):
+                waited = now - entry[ENTRY_ARRIVAL]
+                if waited < self.max_delay:
+                    est = self.estimator.congestion_estimate(
+                        node, pkt.bank, now)
+                    hops = self.region_map.expected_child_distance(pkt.bank)
+                    if self.tracker.predicted_busy(pkt.bank, now, hops, est):
+                        if (
+                            router is not None
+                            and router.free_vc_count(entry[0], now)
+                            < self.min_free_vcs
+                        ):
+                            # Port under VC pressure: parking this packet
+                            # would block through-traffic; release it.
+                            self.vc_pressure_releases += 1
+                        else:
+                            delayed.append(i)
+                            continue
+            eligible.append(i)
+
+        for i in delayed:
+            entries[i][ENTRY_PKT].delayed_cycles += 1
+            self.delay_cycles += 1
+        if delayed:
+            self.packets_delayed += len(delayed)
+
+        if not eligible:
+            # All candidates head to busy banks: leave the output idle so
+            # the network buffers them instead of the bank interface.
+            return None
+        if delayed:
+            self.reorders += 1
+        if len(eligible) == 1:
+            return eligible[0]
+        # Among eligible packets: boost coherence, memory-controller and
+        # response traffic over ordinary requests (Figure 2c); among
+        # requests, let latency-critical reads pass non-blocking write
+        # data (Section 3.2: not all requests are equally critical from
+        # the network standpoint); break ties oldest-first.
+        def rank(i: int):
+            pkt = entries[i][ENTRY_PKT]
+            if pkt.klass is not PacketClass.REQUEST:
+                boost = 0
+            elif not pkt.is_write or not self.read_priority:
+                boost = 1
+            else:
+                boost = 2
+            return (boost, pkt.inject_cycle, entries[i][ENTRY_ARRIVAL])
+
+        return min(eligible, key=rank)

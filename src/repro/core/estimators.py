@@ -1,0 +1,195 @@
+"""Congestion estimation schemes for the busy-duration prediction.
+
+Section 3.5 of the paper introduces three ways a parent router can
+estimate the congestion component of the parent->child latency:
+
+* **SS** (Simplistic Scheme): ignore congestion entirely (estimate 0).
+* **RCA** (Regional Congestion Aware): aggregate buffer-utilisation
+  estimates propagated from neighbouring routers over dedicated 8-bit
+  side-band wires (after Gratz/Grot/Keckler, HPCA'08).
+* **WB** (Window Based): every ``N`` packets, tag one request with an
+  8-bit timestamp; the child acknowledges it, and the parent estimates
+  congestion as half the round-trip time minus the known base latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.noc.packet import Packet, PacketClass
+from repro.sim.config import Estimator, SystemConfig
+
+
+class CongestionEstimator:
+    """Interface shared by the three schemes."""
+
+    name = "none"
+
+    def bind(self, network) -> None:
+        """Give the estimator access to live network state."""
+        self.network = network
+
+    def congestion_estimate(self, parent_node: int, bank: int,
+                            now: int) -> int:
+        """Estimated congestion cycles on the parent->child path."""
+        return 0
+
+    def on_forward(self, parent_node: int, pkt: Packet, now: int) -> None:
+        """Hook: a parent forwarded a request packet toward a child."""
+
+    def on_ack(self, parent_node: int, bank: int, elapsed: int,
+               now: int) -> None:
+        """Hook: a WB acknowledgement arrived back at the parent."""
+
+    def tick(self, now: int) -> None:
+        """Per-cycle update (RCA propagation)."""
+
+
+class SimplisticEstimator(CongestionEstimator):
+    """SS: the parent assumes zero congestion.
+
+    Packets are delayed for exactly the base travel time plus the 33-cycle
+    write service; under load they arrive early and queue at the bank.
+    """
+
+    name = "ss"
+
+
+class RegionalCongestionEstimator(CongestionEstimator):
+    """RCA: neighbour-aggregated buffer utilisation.
+
+    Every ``update_period`` cycles each router publishes a local congestion
+    value (flits queued at the router plus residual output-link busy time).
+    Neighbouring values are aggregated with equal weights (as in the paper)
+    into a regional value clamped to 8 bits; a parent estimates the
+    congestion toward a child as half the sum of the aggregated values at
+    the intermediate node and at the child itself.
+    """
+
+    name = "rca"
+
+    def __init__(self, config: SystemConfig):
+        self.update_period = max(1, config.rca_update_period)
+        self.max_value = 255  # 8-bit side-band wires
+        self.local: Dict[int, float] = {}
+        self.agg: Dict[int, float] = {}
+        self.network = None
+        #: bank -> (intermediate node, child node) cached per parent query.
+        self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def tick(self, now: int) -> None:
+        if self.network is None or now % self.update_period:
+            return
+        topo = self.network.topo
+        routers = self.network.routers
+        local = self.local
+        for router in routers:
+            value = router.queued_flits()
+            busy = router.max_output_residual(now)
+            local[router.node] = min(self.max_value, value + busy)
+        # One aggregation step per update: equal weighting of the local
+        # value and the mean of the neighbours' previous aggregates gives
+        # the coarse regional view of the original RCA proposal.
+        prev = dict(self.agg) if self.agg else local
+        for node in range(topo.n_nodes):
+            neigh = self.network.neighbors_of[node]
+            if neigh:
+                downstream = sum(prev.get(n, 0.0) for n in neigh) / len(neigh)
+            else:  # pragma: no cover - every mesh node has neighbours
+                downstream = 0.0
+            self.agg[node] = min(
+                self.max_value, 0.5 * local.get(node, 0.0) + 0.5 * downstream
+            )
+
+    def _path_nodes(self, parent_node: int, bank: int) -> Tuple[int, ...]:
+        key = (parent_node, bank)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            topo = self.network.topo
+            bank_node = topo.bank_node(bank)
+            if topo.layer_of(parent_node) == 1:
+                path = topo.xy_path(parent_node, bank_node)
+            else:
+                # Parent is the region-TSB core node: descend then X-Y.
+                below = parent_node + topo.nodes_per_layer
+                path = [parent_node] + topo.xy_path(below, bank_node)
+            cached = tuple(path[1:])  # downstream nodes only
+            self._path_cache[key] = cached
+        return cached
+
+    def congestion_estimate(self, parent_node: int, bank: int,
+                            now: int) -> int:
+        if self.network is None:
+            return 0
+        nodes = self._path_nodes(parent_node, bank)
+        if not nodes:
+            return 0
+        total = sum(self.agg.get(n, 0.0) for n in nodes)
+        return int(min(self.max_value, total / 2.0))
+
+
+class WindowEstimator(CongestionEstimator):
+    """WB: timestamp/ACK round-trip sampling with window size 1.
+
+    For every ``sample_period`` request packets a parent forwards toward a
+    given child, one is tagged with the current cycle (8-bit timestamp in
+    hardware; we model saturation at 255 cycles).  The child's network
+    interface answers with a single-flit ACK carrying the tag, and the
+    parent sets its congestion estimate for that child to
+    ``max(0, rtt/2 - base_one_way_latency)``.
+    """
+
+    name = "wb"
+
+    def __init__(self, config: SystemConfig):
+        self.sample_period = max(1, config.wb_sample_period)
+        self.max_elapsed = (1 << config.wb_timestamp_bits) - 1
+        self.hop_cycles = config.hop_cycles
+        #: (parent, bank) -> packets forwarded since the last tag.
+        self._counters: Dict[Tuple[int, int], int] = {}
+        #: (parent, bank) -> latest congestion estimate in cycles.
+        self._estimates: Dict[Tuple[int, int], int] = {}
+        #: instrumentation
+        self.tags_sent = 0
+        self.acks_received = 0
+        self.network = None
+
+    def on_forward(self, parent_node: int, pkt: Packet, now: int) -> None:
+        if pkt.klass is not PacketClass.REQUEST or pkt.bank is None:
+            return
+        key = (parent_node, pkt.bank)
+        count = self._counters.get(key, 0) + 1
+        if count >= self.sample_period or key not in self._estimates:
+            pkt.wb_timestamp = now
+            self.tags_sent += 1
+            count = 0
+            self._estimates.setdefault(key, 0)
+        self._counters[key] = count
+
+    def on_ack(self, parent_node: int, bank: int, elapsed: int,
+               now: int) -> None:
+        elapsed = min(elapsed, self.max_elapsed)
+        # One-way latency is roughly half the round trip; the congestion
+        # component is what exceeds the known two-hop base latency.
+        base_one_way = 2 * self.hop_cycles - self.hop_cycles // 2
+        estimate = max(0, elapsed // 2 - base_one_way)
+        self._estimates[(parent_node, bank)] = estimate
+        self.acks_received += 1
+
+    def congestion_estimate(self, parent_node: int, bank: int,
+                            now: int) -> int:
+        return self._estimates.get((parent_node, bank), 0)
+
+
+def make_estimator(config: SystemConfig) -> Optional[CongestionEstimator]:
+    """Instantiate the estimator selected by the configuration."""
+    kind = config.estimator
+    if kind is Estimator.NONE:
+        return None
+    if kind is Estimator.SIMPLE:
+        return SimplisticEstimator()
+    if kind is Estimator.RCA:
+        return RegionalCongestionEstimator(config)
+    if kind is Estimator.WINDOW:
+        return WindowEstimator(config)
+    raise ValueError(f"unknown estimator {kind}")  # pragma: no cover

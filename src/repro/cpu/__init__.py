@@ -1,0 +1,15 @@
+"""Trace-driven core models and access-stream protocol."""
+
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.trace import (
+    AccessStream, IdleStream, ScriptedStream, StridedStream, bank_block,
+)
+from repro.cpu.tracefile import (
+    RecordingStream, TraceFileStream, read_trace, write_trace,
+)
+
+__all__ = [
+    "Core", "CoreStats", "AccessStream", "IdleStream", "ScriptedStream",
+    "StridedStream", "bank_block", "RecordingStream", "TraceFileStream",
+    "read_trace", "write_trace",
+]

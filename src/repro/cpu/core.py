@@ -1,0 +1,290 @@
+"""Trace-driven out-of-order-lite core model (paper Table 1).
+
+Each core commits up to two instructions per cycle, at most one of which
+is a memory operation.  Memory operations probe a private write-back L1;
+misses allocate an MSHR (32 per core) and issue a request packet to the
+block's home L2 bank.  The 128-entry instruction window is approximated
+by a retirement rule: the core stalls once the oldest outstanding *load*
+is more than ``instruction_window`` committed instructions old.  Store
+misses (read-for-ownership) occupy MSHRs but do not block retirement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.cache.arrays import CacheArray
+from repro.cache.messages import CoherenceMsg, CoherenceOp, Transaction
+from repro.cache.mshr import MSHRFile
+from repro.cpu.trace import AccessStream
+from repro.noc.packet import Packet, PacketClass
+from repro.sim.config import SystemConfig
+
+SendFn = Callable[..., None]
+
+
+class CoreStats:
+    """Per-core instrumentation."""
+
+    def __init__(self):
+        self.committed = 0
+        self.mem_ops = 0
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.stall_cycles = 0
+        self.mshr_stall_cycles = 0
+        self.ni_stall_cycles = 0
+        self.writebacks = 0
+        self.invalidations_received = 0
+        self.forwards_served = 0
+        self.miss_latency_sum = 0
+        self.miss_latency_samples = 0
+
+    def ipc(self, cycles: int) -> float:
+        return self.committed / cycles if cycles else 0.0
+
+    def average_miss_latency(self) -> float:
+        if not self.miss_latency_samples:
+            return 0.0
+        return self.miss_latency_sum / self.miss_latency_samples
+
+    def l1_mpki(self) -> float:
+        if not self.committed:
+            return 0.0
+        return 1000.0 * self.l1_misses / self.committed
+
+
+class Core:
+    """One processing node in the core layer."""
+
+    def __init__(
+        self,
+        core_id: int,
+        node: int,
+        config: SystemConfig,
+        stream: AccessStream,
+        send: SendFn,
+        bank_node_for_block: Callable[[int], int],
+        can_send: Optional[Callable[[], bool]] = None,
+    ):
+        self.core_id = core_id
+        self.node = node
+        self.config = config
+        self.stream = stream
+        self.send = send
+        self._bank_node_for_block = bank_node_for_block
+        self._can_send = can_send
+
+        self.l1 = CacheArray(
+            config.l1_effective_bytes, config.l1_associativity,
+            config.block_bytes, name=f"L1[{core_id}]",
+        )
+        self.mshrs = MSHRFile(config.l1_mshrs, name=f"L1MSHR[{core_id}]")
+        self.stats = CoreStats()
+
+        #: outstanding blocking loads: block -> (committed at issue,
+        #: effective window before retirement stalls)
+        self._blocking_loads: Dict[int, tuple] = {}
+        self._rng = random.Random(0x5EED ^ (core_id * 65537))
+        #: block -> issue cycle, for miss-latency accounting
+        self._miss_issue_cycle: Dict[int, int] = {}
+
+        self._gap_remaining = 0
+        self._pending_block: Optional[int] = None
+        self._pending_store = False
+        self._advance_stream()
+        self.done = False
+
+    # ------------------------------------------------------------------
+
+    def _advance_stream(self) -> None:
+        gap, block, is_store = self.stream.next_access()
+        self._gap_remaining = gap
+        self._pending_block = block
+        self._pending_store = is_store
+
+    def _window_blocked(self) -> bool:
+        if not self._blocking_loads:
+            return False
+        committed = self.stats.committed
+        for issued_at, window in self._blocking_loads.values():
+            if committed - issued_at >= window:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        if self._window_blocked():
+            self.stats.stall_cycles += 1
+            return
+        mem_op_done = False
+        for _slot in range(self.config.commit_width):
+            if self._gap_remaining > 0:
+                self._gap_remaining -= 1
+                self.stats.committed += 1
+                continue
+            if mem_op_done:
+                break  # only one memory operation per cycle (Table 1)
+            if not self._issue_mem_op(now):
+                break  # MSHRs full: retry next cycle
+            mem_op_done = True
+            if self._window_blocked():
+                break
+
+    def _issue_mem_op(self, now: int) -> bool:
+        block = self._pending_block
+        is_store = self._pending_store
+        if self.l1.lookup(block):
+            self.stats.l1_hits += 1
+            if is_store:
+                self.l1.mark_dirty(block)
+            self.stats.committed += 1
+            self.stats.mem_ops += 1
+            self._advance_stream()
+            return True
+        if self._can_send is not None and not self._can_send():
+            # NI source queue / store buffer full: stall the stream.
+            self.stats.ni_stall_cycles += 1
+            self.l1.misses -= 1  # the retried lookup re-counts the miss
+            return False
+        if is_store:
+            # Store miss: write the line through to the home L2 bank
+            # (write-no-allocate L1).  This is the paper's Table 3
+            # accounting -- l2wpki counts store misses arriving at the
+            # banks as long-latency write accesses -- and it is exactly
+            # the traffic the STT-RAM-aware arbiter delays.  The store
+            # retires through the store buffer without blocking.
+            self.stats.l1_misses += 1
+            self.stats.mem_ops += 1
+            self.stats.committed += 1
+            self._send_store_write(block, now)
+            self._advance_stream()
+            return True
+        # Load miss
+        outcome = self.mshrs.allocate(block, waiter=(now, is_store))
+        if outcome is None:
+            self.stats.mshr_stall_cycles += 1
+            self.l1.misses -= 1  # retried access: count the miss once
+            self.stats.l1_hits -= 0
+            return False
+        self.stats.l1_misses += 1
+        self.stats.mem_ops += 1
+        self.stats.committed += 1
+        if outcome:
+            self._send_request(block, is_store, now)
+            self._miss_issue_cycle[block] = now
+        if not is_store and block not in self._blocking_loads:
+            if self._rng.random() < self.config.load_dep_prob:
+                window = self.config.load_dep_window
+            else:
+                window = self.config.instruction_window
+            self._blocking_loads[block] = (self.stats.committed, window)
+        self._advance_stream()
+        return True
+
+    def _send_request(self, block: int, is_store: bool, now: int) -> None:
+        txn = Transaction(
+            core=self.core_id, block=block, is_store=is_store,
+            kind="read", issue_cycle=now,
+        )
+        dst = self._bank_node_for_block(block)
+        self.send(
+            PacketClass.REQUEST, self.node, dst,
+            self.config.addr_packet_flits, False, None, txn, now,
+        )
+
+    def _send_store_write(self, block: int, now: int) -> None:
+        txn = Transaction(
+            core=self.core_id, block=block, is_store=True,
+            kind="store", issue_cycle=now,
+        )
+        dst = self._bank_node_for_block(block)
+        self.send(
+            PacketClass.REQUEST, self.node, dst,
+            self.config.data_packet_flits, True, None, txn, now,
+        )
+
+    def _send_writeback(self, block: int, now: int) -> None:
+        txn = Transaction(
+            core=self.core_id, block=block, is_store=True,
+            kind="writeback", issue_cycle=now,
+        )
+        dst = self._bank_node_for_block(block)
+        self.send(
+            PacketClass.REQUEST, self.node, dst,
+            self.config.data_packet_flits, True, None, txn, now,
+        )
+        self.stats.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Network-facing entry points
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet, now: int) -> None:
+        if pkt.klass is PacketClass.RESPONSE:
+            self._on_fill(pkt.payload, now)
+        elif pkt.klass is PacketClass.COHERENCE:
+            self._on_coherence(pkt.payload, now)
+
+    def _on_fill(self, txn: Transaction, now: int) -> None:
+        block = txn.block
+        txn.complete_cycle = now
+        issue = self._miss_issue_cycle.pop(block, None)
+        if issue is not None:
+            self.stats.miss_latency_sum += now - issue
+            self.stats.miss_latency_samples += 1
+        waiters = self.mshrs.complete(block)
+        dirty = txn.is_store or any(st for (_c, st) in waiters)
+        victim = self.l1.fill(block, dirty=dirty)
+        if victim is not None:
+            victim_block, victim_dirty = victim
+            if victim_dirty:
+                self._send_writeback(victim_block, now)
+        self._blocking_loads.pop(block, None)
+
+    def _on_coherence(self, msg: CoherenceMsg, now: int) -> None:
+        if msg.op in (CoherenceOp.INVALIDATE, CoherenceOp.RECALL):
+            self.stats.invalidations_received += 1
+            present, dirty = self.l1.invalidate(msg.block)
+            if present and dirty:
+                self._send_writeback(msg.block, now)
+            ack = CoherenceMsg(
+                op=CoherenceOp.INV_ACK, block=msg.block,
+                requester_core=None, home_bank=msg.home_bank,
+                sharer=self.core_id,
+            )
+            bank_node = self._bank_node_for_block(msg.block)
+            # INV_ACK returns to the *home bank* of the block.
+            self.send(
+                PacketClass.COHERENCE, self.node, bank_node,
+                self.config.addr_packet_flits, False, None, ack, now,
+            )
+            # An invalidated block no longer blocks retirement... it was
+            # resident, so it could not have been outstanding.
+        elif msg.op is CoherenceOp.FORWARD:
+            self.stats.forwards_served += 1
+            # Supply the dirty line to the requester from our L1.
+            if msg.exclusive:
+                self.l1.invalidate(msg.block)
+            else:
+                self.l1.mark_clean(msg.block)
+                # Downgrade implies writing the dirty data back home.
+                self._send_writeback(msg.block, now)
+            if msg.txn is not None:
+                msg.txn.forwarded_from_owner = True
+                requester_node = msg.txn.core
+                self.send(
+                    PacketClass.RESPONSE, self.node, requester_node,
+                    self.config.data_packet_flits, False, None,
+                    msg.txn, now,
+                )
+
+    # ------------------------------------------------------------------
+
+    def outstanding_misses(self) -> int:
+        return len(self.mshrs)
+
+    def quiesced(self) -> bool:
+        return not len(self.mshrs)

@@ -1,0 +1,86 @@
+"""Access-stream protocol and simple deterministic streams.
+
+A core consumes an *access stream*: an object with a ``next_access()``
+method returning ``(gap, block, is_store)`` -- execute ``gap`` non-memory
+instructions, then issue one memory operation on ``block``.  Streams are
+infinite; finite scripted streams pad with an idle tail.
+
+Synthetic streams calibrated to the paper's Table 3 live in
+:mod:`repro.workloads.synthetic`; the classes here are deterministic
+building blocks used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Access = Tuple[int, int, bool]
+
+#: Gap returned forever once a finite stream is exhausted.
+IDLE_GAP = 1 << 30
+
+
+class AccessStream:
+    """Interface: infinite stream of ``(gap, block, is_store)`` tuples."""
+
+    def next_access(self) -> Access:
+        raise NotImplementedError
+
+
+class ScriptedStream(AccessStream):
+    """Replays an explicit access list, then idles (or loops).
+
+    Args:
+        accesses: Sequence of ``(gap, block, is_store)``.
+        loop: Replay from the start when exhausted instead of idling.
+    """
+
+    def __init__(self, accesses: Sequence[Access], loop: bool = False):
+        self._accesses: List[Access] = list(accesses)
+        self._index = 0
+        self.loop = loop
+
+    def next_access(self) -> Access:
+        if self._index >= len(self._accesses):
+            if self.loop and self._accesses:
+                self._index = 0
+            else:
+                return (IDLE_GAP, 0, False)
+        access = self._accesses[self._index]
+        self._index += 1
+        return access
+
+
+class StridedStream(AccessStream):
+    """Endless strided sweep over a block range (streaming workload)."""
+
+    def __init__(self, gap: int, start_block: int, stride: int,
+                 n_blocks: int, store_every: int = 0):
+        self.gap = gap
+        self.start_block = start_block
+        self.stride = stride
+        self.n_blocks = max(1, n_blocks)
+        self.store_every = store_every
+        self._count = 0
+
+    def next_access(self) -> Access:
+        offset = (self._count * self.stride) % self.n_blocks
+        block = self.start_block + offset
+        is_store = bool(
+            self.store_every and self._count % self.store_every == 0
+        )
+        self._count += 1
+        return (self.gap, block, is_store)
+
+
+class IdleStream(AccessStream):
+    """A core that never touches memory."""
+
+    def next_access(self) -> Access:
+        return (IDLE_GAP, 0, False)
+
+
+def bank_block(bank: int, index: int, n_banks: int) -> int:
+    """Construct a block number that maps to ``bank`` under block-
+    interleaved home-bank selection."""
+    return index * n_banks + bank

@@ -1,0 +1,85 @@
+"""Access-trace recording and replay.
+
+The simulator is normally driven by synthetic streams; for repeatable
+experiments and external trace exchange, any stream can be recorded to a
+simple line-oriented text format and replayed later::
+
+    gap block is_store
+    2 6819843 1
+    0 6819844 0
+
+Recording wraps a live stream transparently; replay implements the
+standard :class:`repro.cpu.trace.AccessStream` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TextIO
+
+from repro.cpu.trace import Access, AccessStream, ScriptedStream
+from repro.errors import WorkloadError
+
+
+class RecordingStream(AccessStream):
+    """Wraps a stream, recording every access it yields."""
+
+    def __init__(self, inner: AccessStream,
+                 limit: Optional[int] = None):
+        self.inner = inner
+        self.limit = limit
+        self.recorded: List[Access] = []
+
+    def next_access(self) -> Access:
+        access = self.inner.next_access()
+        if self.limit is None or len(self.recorded) < self.limit:
+            self.recorded.append(access)
+        return access
+
+    def dump(self, fp: TextIO) -> int:
+        """Write the recorded accesses; returns the line count."""
+        return write_trace(fp, self.recorded)
+
+
+def write_trace(fp: TextIO, accesses: Iterable[Access]) -> int:
+    """Serialise accesses as ``gap block is_store`` lines."""
+    count = 0
+    fp.write("# repro access trace v1: gap block is_store\n")
+    for gap, block, is_store in accesses:
+        fp.write(f"{gap} {block} {1 if is_store else 0}\n")
+        count += 1
+    return count
+
+
+def read_trace(fp: TextIO) -> List[Access]:
+    """Parse a trace file back into an access list."""
+    accesses: List[Access] = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise WorkloadError(
+                f"trace line {lineno}: expected 3 fields, got "
+                f"{len(parts)}")
+        try:
+            gap, block, store = int(parts[0]), int(parts[1]), parts[2]
+        except ValueError as exc:
+            raise WorkloadError(
+                f"trace line {lineno}: non-integer field") from exc
+        if gap < 0 or block < 0 or store not in ("0", "1"):
+            raise WorkloadError(f"trace line {lineno}: invalid values")
+        accesses.append((gap, block, store == "1"))
+    return accesses
+
+
+class TraceFileStream(ScriptedStream):
+    """Replays a recorded trace file (idling when exhausted)."""
+
+    def __init__(self, fp: TextIO, loop: bool = False):
+        super().__init__(read_trace(fp), loop=loop)
+
+    @classmethod
+    def from_path(cls, path: str, loop: bool = False) -> "TraceFileStream":
+        with open(path, "r", encoding="ascii") as fp:
+            return cls(fp, loop=loop)

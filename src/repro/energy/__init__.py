@@ -1,0 +1,5 @@
+"""Un-core energy model (Table 2 devices + Orion-style router energy)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

@@ -1,0 +1,112 @@
+"""Un-core (L2 + interconnect) energy accounting (Figure 8).
+
+Energy is attributed from event counters collected during simulation:
+
+* cache dynamic energy: per-access read/write energies from Table 2,
+* cache leakage: per-bank leakage power x simulated time (the dominant
+  term, and the reason STT-RAM saves ~54% un-core energy on average),
+* network dynamic energy: per-flit router/link/TSB traversal energies,
+* network leakage: per-router leakage x simulated time, plus the RCA
+  scheme's side-band wiring overhead when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.device import CYCLE_SECONDS, MemoryDevice, device_for
+from repro.energy import params
+from repro.sim.config import Estimator, SystemConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component over a measurement window."""
+
+    cache_dynamic: float
+    cache_leakage: float
+    network_dynamic: float
+    network_leakage: float
+    write_buffer: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.cache_dynamic + self.cache_leakage
+            + self.network_dynamic + self.network_leakage
+            + self.write_buffer
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "cache_dynamic_j": self.cache_dynamic,
+            "cache_leakage_j": self.cache_leakage,
+            "network_dynamic_j": self.network_dynamic,
+            "network_leakage_j": self.network_leakage,
+            "write_buffer_j": self.write_buffer,
+            "total_j": self.total,
+        }
+
+
+class EnergyModel:
+    """Turns event counters into an :class:`EnergyBreakdown`."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.device: MemoryDevice = device_for(config.cache_technology)
+
+    def compute(
+        self,
+        cycles: int,
+        bank_reads: int,
+        bank_writes: int,
+        router_flits: int,
+        link_flits: int,
+        tsb_flits: int = 0,
+        write_buffer_accesses: int = 0,
+    ) -> EnergyBreakdown:
+        """Energy over ``cycles`` of simulated time.
+
+        Args:
+            bank_reads / bank_writes: Array accesses (fills and drains
+                count as writes).
+            router_flits: Flit-router traversals.
+            link_flits: Flit-link traversals (planar).
+            tsb_flits: Flit-TSB traversals (vertical).
+            write_buffer_accesses: BUFF-N buffer operations.
+        """
+        config = self.config
+        seconds = cycles * CYCLE_SECONDS
+
+        cache_dynamic = (
+            bank_reads * self.device.access_energy_joules(False)
+            + bank_writes * self.device.access_energy_joules(True)
+        )
+        cache_leakage = (
+            config.n_banks * self.device.leakage_mw * 1e-3 * seconds
+        )
+
+        network_dynamic = (
+            router_flits * params.ROUTER_ENERGY_PER_FLIT
+            + link_flits * params.LINK_ENERGY_PER_FLIT
+            + tsb_flits * params.TSB_ENERGY_PER_FLIT
+        )
+        router_leak_w = params.ROUTER_LEAKAGE_W
+        if config.estimator is Estimator.RCA:
+            router_leak_w += params.RCA_WIRING_LEAKAGE_W
+        network_leakage = config.n_routers * router_leak_w * seconds
+
+        write_buffer = 0.0
+        if config.write_buffer is not None:
+            write_buffer = (
+                config.n_banks * params.WRITE_BUFFER_LEAKAGE_W * seconds
+                + write_buffer_accesses * params.WRITE_BUFFER_ACCESS_ENERGY
+            )
+        return EnergyBreakdown(
+            cache_dynamic=cache_dynamic,
+            cache_leakage=cache_leakage,
+            network_dynamic=network_dynamic,
+            network_leakage=network_leakage,
+            write_buffer=write_buffer,
+        )

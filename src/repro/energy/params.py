@@ -1,0 +1,35 @@
+"""Energy model constants.
+
+Cache-bank numbers come from paper Table 2.  Router and link energies are
+representative Orion-derived constants for a 2-stage 5-7 port VC router
+with 128-bit flits at 32 nm / 3 GHz (the paper uses Orion numbers inside
+its simulator but does not tabulate them; only *relative* un-core energy
+across schemes matters for Figure 8).
+"""
+
+from __future__ import annotations
+
+#: Dynamic energy per flit traversing one router (buffer write + read,
+#: VA/SA arbitration, crossbar), in joules.
+ROUTER_ENERGY_PER_FLIT = 0.098e-9
+
+#: Dynamic energy per flit traversing one inter-router link, in joules.
+LINK_ENERGY_PER_FLIT = 0.024e-9
+
+#: Dynamic energy per flit traversing a vertical TSB, in joules.  TSVs
+#: are short and wide, cheaper than planar links.
+TSB_ENERGY_PER_FLIT = 0.008e-9
+
+#: Router leakage power, watts per router.
+ROUTER_LEAKAGE_W = 0.0045
+
+#: Extra static power of the RCA side-band wiring (8-bit estimate wires
+#: between neighbours), watts per router.
+RCA_WIRING_LEAKAGE_W = 0.0003
+
+#: Per-bank leakage of the BUFF-20 SRAM write buffer, watts.  20 entries
+#: x 128 B is ~2.5 KB of SRAM plus CAM-style lookup.
+WRITE_BUFFER_LEAKAGE_W = 0.004
+
+#: Energy per write-buffer access (absorb, probe hit, drain read), joules.
+WRITE_BUFFER_ACCESS_ENERGY = 0.012e-9

@@ -1,0 +1,25 @@
+"""Exception types used across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`repro.sim.config.SystemConfig`."""
+
+
+class TopologyError(ReproError):
+    """A malformed topology query (bad node id, port, or coordinate)."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be routed (unreachable destination or bad port)."""
+
+
+class ProtocolError(ReproError):
+    """A cache-coherence or bank-protocol invariant was violated."""
+
+
+class WorkloadError(ReproError):
+    """An unknown benchmark name or invalid workload specification."""

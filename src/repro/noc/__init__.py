@@ -1,0 +1,16 @@
+"""On-chip network substrate: topology, routing, routers, packets."""
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.router import Router
+from repro.noc.routing import RoutingPolicy
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import (
+    DOWN, EAST, LOCAL, NORTH, N_PORTS, OPPOSITE, SOUTH, UP, WEST, Mesh3D,
+)
+
+__all__ = [
+    "Network", "Packet", "PacketClass", "Router", "RoutingPolicy",
+    "NetworkStats", "Mesh3D", "EAST", "WEST", "NORTH", "SOUTH", "UP",
+    "DOWN", "LOCAL", "N_PORTS", "OPPOSITE",
+]

@@ -1,0 +1,225 @@
+"""Cycle-driven 3D NoC built from :class:`repro.noc.router.Router` nodes.
+
+The network advances one cycle at a time.  Each cycle it:
+
+1. drains per-node injection queues into free local-port VCs,
+2. lets every router with buffered packets arbitrate each idle output
+   port among ready candidates (policy-pluggable: round-robin or the
+   paper's bank-aware arbiter) and forward the winner, and
+3. ticks the congestion estimator (RCA propagation).
+
+Endpoints register *sinks*: callables invoked when a packet is ejected at
+its destination node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.core.combining import FlitCombiner
+from repro.errors import RoutingError
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.routing import RoutingPolicy
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import DOWN, LOCAL, N_PORTS, OPPOSITE, Mesh3D
+from repro.sim.config import SystemConfig
+
+Sink = Callable[[Packet, int], None]
+
+
+class Network:
+    """The interconnect substrate shared by cores, banks and controllers."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topo: Mesh3D,
+        routing: RoutingPolicy,
+        arbiter,
+        estimator=None,
+    ):
+        self.config = config
+        self.topo = topo
+        self.routing = routing
+        self.arbiter = arbiter
+        self.estimator = estimator
+        self.stats = NetworkStats()
+        self.routers: List[Router] = [
+            Router(node, config.n_vcs) for node in range(topo.n_nodes)
+        ]
+        #: per-node NI source queues
+        self.source_queues: List[deque] = [
+            deque() for _ in range(topo.n_nodes)
+        ]
+        self.sinks: Dict[int, Sink] = {}
+        #: optional per-node ejection flow control: node -> (pkt -> bool)
+        self.flow_control: Dict[int, Callable[[Packet], bool]] = {}
+        self.hop_cycles = config.hop_cycles
+
+        # Precompute neighbours and link serialisation factors.
+        self.neighbor_node: List[List[Optional[int]]] = []
+        for node in range(topo.n_nodes):
+            self.neighbor_node.append(
+                [topo.neighbor(node, port) for port in range(N_PORTS)]
+            )
+        self.neighbors_of: List[List[int]] = [
+            [n for n in row[:6] if n is not None]
+            for row in self.neighbor_node
+        ]
+        self._combiners: Dict[tuple, FlitCombiner] = {}
+        if routing.region_map is not None and \
+                config.region_tsb_width_factor > 1:
+            for cache_node in routing.region_map.tsb_cache_nodes():
+                core_node = cache_node - topo.nodes_per_layer
+                self._combiners[(core_node, DOWN)] = FlitCombiner(
+                    config.region_tsb_width_factor
+                )
+        if estimator is not None:
+            estimator.bind(self)
+        if hasattr(arbiter, "bind"):
+            arbiter.bind(self)
+
+        self._nonempty_sources = set()
+
+    # ------------------------------------------------------------------
+    # Endpoint API
+    # ------------------------------------------------------------------
+
+    def register_sink(self, node: int, sink: Sink,
+                      flow_control: Optional[Callable[[Packet], bool]] = None
+                      ) -> None:
+        self.sinks[node] = sink
+        if flow_control is not None:
+            self.flow_control[node] = flow_control
+
+    def can_inject(self, node: int) -> bool:
+        """Source-side flow control: is there NI queue space at ``node``?
+
+        Only cores consult this (and stall their streams when it fails);
+        banks and controllers mid-transaction may exceed the limit.
+        """
+        return len(self.source_queues[node]) < self.config.ni_queue_entries
+
+    def inject(self, pkt: Packet, now: int) -> None:
+        """Queue a packet at its source NI."""
+        self.routing.prepare(pkt)
+        self.stats.on_inject(pkt, now)
+        self.source_queues[pkt.src].append(pkt)
+        self._nonempty_sources.add(pkt.src)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        self._inject_sources(now)
+        self._route_cycle(now)
+        if self.estimator is not None:
+            self.estimator.tick(now)
+
+    def _inject_sources(self, now: int) -> None:
+        done = []
+        for node in self._nonempty_sources:
+            queue = self.source_queues[node]
+            router = self.routers[node]
+            while queue:
+                vc = router.free_vc(LOCAL, now)
+                if vc < 0:
+                    break
+                pkt = queue[0]
+                if pkt.ready_at > now:
+                    break
+                queue.popleft()
+                pkt.network_cycle = now
+                out_port = self.routing.next_port(node, pkt)
+                router.accept(LOCAL, vc, pkt, out_port, now)
+            if not queue:
+                done.append(node)
+        for node in done:
+            self._nonempty_sources.discard(node)
+
+    def _route_cycle(self, now: int) -> None:
+        arbiter = self.arbiter
+        for router in self.routers:
+            if router.n_resident == 0:
+                continue
+            node = router.node
+            for out_port in range(N_PORTS):
+                entries = router.out_entries[out_port]
+                if not entries or router.out_busy_until[out_port] > now:
+                    continue
+                if out_port == LOCAL:
+                    downstream = None
+                else:
+                    down_node = self.neighbor_node[node][out_port]
+                    if down_node is None:  # pragma: no cover
+                        raise RoutingError(
+                            f"packet routed off-mesh at node {node}"
+                        )
+                    downstream = self.routers[down_node]
+                    if downstream.free_vc(OPPOSITE[out_port], now) < 0:
+                        continue
+                if out_port == LOCAL:
+                    accept = self.flow_control.get(node)
+                    candidates = [
+                        e for e in entries
+                        if e[2].ready_at <= now
+                        and (accept is None or accept(e[2]))
+                    ]
+                else:
+                    candidates = [e for e in entries if e[2].ready_at <= now]
+                if not candidates:
+                    continue
+                winner = arbiter.choose(node, out_port, candidates, now)
+                if winner is None:
+                    continue
+                entry = candidates[winner]
+                self._forward(router, downstream, out_port, entry, now)
+
+    def _forward(self, router: Router, downstream: Optional[Router],
+                 out_port: int, entry: list, now: int) -> None:
+        pkt = entry[2]
+        entries = router.out_entries[out_port]
+        entries.remove(entry)
+        router.release(entry, now)
+        node = router.node
+
+        combiner = self._combiners.get((node, out_port))
+        if combiner is not None:
+            serialization = combiner.serialization_cycles(pkt)
+            self.stats.tsb_combined_flit_pairs = combiner.combined_flit_pairs
+        else:
+            serialization = pkt.flits
+        router.out_busy_until[out_port] = now + serialization
+
+        if out_port == LOCAL:
+            self.stats.on_deliver(pkt, now)
+            sink = self.sinks.get(node)
+            if sink is not None:
+                sink(pkt, now)
+            return
+
+        self.arbiter.on_forward(node, pkt, now, out_port)
+        self.stats.on_forward(pkt, now)
+        pkt.hops += 1
+        pkt.ready_at = now + self.hop_cycles
+        down_node = downstream.node
+        in_port = OPPOSITE[out_port]
+        vc = downstream.free_vc(in_port, now)
+        next_out = self.routing.next_port(down_node, pkt)
+        downstream.accept(in_port, vc, pkt, next_out, pkt.ready_at)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def quiesced(self) -> bool:
+        """True when no packets remain anywhere in the network."""
+        if any(self.source_queues[n] for n in range(self.topo.n_nodes)):
+            return False
+        return all(r.n_resident == 0 for r in self.routers)
+
+    def total_resident(self) -> int:
+        return sum(r.n_resident for r in self.routers)

@@ -1,0 +1,115 @@
+"""Packet-granular wormhole router model.
+
+Models the paper's two-stage virtual-channel router (Table 1): per-port
+virtual channels, credit-style backpressure (a packet may only move when
+a downstream VC at the target input port is free), per-output-port
+arbitration, and flit-accurate link serialisation (an output link stays
+busy for ``n_flits`` cycles per forwarded packet).
+
+Routing decisions are made once, when a packet arrives at the router, and
+the packet is then parked in a per-output-port candidate queue; this is
+equivalent to (and much faster than) re-running route computation every
+cycle for every buffered flit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.noc.packet import Packet
+from repro.noc.topology import LOCAL, N_PORTS
+
+
+class Router:
+    """One 7-port (4 cardinal + up/down + local) mesh router."""
+
+    __slots__ = (
+        "node", "n_vcs", "vcs", "vc_free_at", "out_busy_until",
+        "out_entries", "n_resident",
+    )
+
+    def __init__(self, node: int, n_vcs: int):
+        self.node = node
+        self.n_vcs = n_vcs
+        #: vcs[port][vc] -> resident/reserved Packet or None
+        self.vcs: List[List[Optional[Packet]]] = [
+            [None] * n_vcs for _ in range(N_PORTS)
+        ]
+        #: cycle until which a drained VC is still occupied by a tail
+        self.vc_free_at: List[List[int]] = [
+            [0] * n_vcs for _ in range(N_PORTS)
+        ]
+        self.out_busy_until: List[int] = [0] * N_PORTS
+        #: out_entries[port] -> list of [in_port, vc, pkt, arrival_cycle]
+        self.out_entries: List[List[list]] = [[] for _ in range(N_PORTS)]
+        self.n_resident = 0
+
+    # ------------------------------------------------------------------
+
+    def free_vc(self, port: int, now: int) -> int:
+        """Index of a free VC at an input port, or -1."""
+        vcs = self.vcs[port]
+        free_at = self.vc_free_at[port]
+        for v in range(self.n_vcs):
+            if vcs[v] is None and free_at[v] <= now:
+                return v
+        return -1
+
+    def free_vc_count(self, port: int, now: int) -> int:
+        vcs = self.vcs[port]
+        free_at = self.vc_free_at[port]
+        return sum(
+            1 for v in range(self.n_vcs)
+            if vcs[v] is None and free_at[v] <= now
+        )
+
+    def accept(self, port: int, vc: int, pkt: Packet, out_port: int,
+               arrival: int) -> None:
+        """Reserve an input VC for an incoming packet and park it on its
+        output-port candidate queue."""
+        self.vcs[port][vc] = pkt
+        self.out_entries[out_port].append([port, vc, pkt, arrival])
+        self.n_resident += 1
+
+    def release(self, entry: list, now: int) -> None:
+        """Free the input VC after the packet's tail has drained."""
+        port, vc, pkt, _arrival = entry
+        self.vcs[port][vc] = None
+        self.vc_free_at[port][vc] = now + pkt.flits
+        self.n_resident -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection used by the RCA estimator and the stats collector
+    # ------------------------------------------------------------------
+
+    def queued_flits(self) -> int:
+        """Total flits buffered across all candidate queues."""
+        return sum(
+            entry[2].flits
+            for entries in self.out_entries
+            for entry in entries
+        )
+
+    def queued_packets(self, out_port: Optional[int] = None) -> int:
+        if out_port is None:
+            return sum(len(entries) for entries in self.out_entries)
+        return len(self.out_entries[out_port])
+
+    def max_output_residual(self, now: int) -> int:
+        """Largest remaining output-link busy time across ports."""
+        residual = 0
+        for port in range(N_PORTS):
+            if port == LOCAL:
+                continue
+            left = self.out_busy_until[port] - now
+            if left > residual:
+                residual = left
+        return residual
+
+    def occupancy(self) -> float:
+        """Fraction of input VCs currently holding a packet."""
+        held = sum(
+            1 for port_vcs in self.vcs for pkt in port_vcs
+            if pkt is not None
+        )
+        return held / float(N_PORTS * self.n_vcs)

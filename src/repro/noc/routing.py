@@ -1,0 +1,122 @@
+"""Deterministic routing policies for the two-layer 3D mesh.
+
+Three routing behaviours from the paper coexist:
+
+* **Baseline (64 TSB)**: request packets descend at the source column
+  (Z-X-Y) and then use X-Y routing in the cache layer; responses ascend at
+  the bank's column and use X-Y routing in the core layer.
+* **Region-restricted (4/8/16 TSB)**: request packets are first X-Y routed
+  *within the core layer* to the region-TSB node, descend through the
+  region TSB, then X-Y routed in the cache layer to the bank -- creating
+  the serialisation points the paper's estimators rely on (Section 3.4).
+  Responses and coherence traffic remain unrestricted (all vertical TSVs).
+* **Memory traffic** stays within the cache layer (X-Y).
+
+All of these are expressed with a single ``via`` waypoint carried by the
+packet: route X-Y to the waypoint in the current layer, then vertically to
+the destination layer, then X-Y to the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.topology import (
+    DOWN, EAST, LOCAL, NORTH, SOUTH, UP, WEST, Mesh3D,
+)
+
+
+class RoutingPolicy:
+    """X-Y(-Z) routing with optional region-TSB request restriction.
+
+    Args:
+        topo: The mesh geometry.
+        region_map: A :class:`repro.core.regions.RegionMap` when request
+            path diversity is restricted, else None (all 64 TSBs usable).
+    """
+
+    def __init__(self, topo: Mesh3D, region_map=None):
+        self.topo = topo
+        self.region_map = region_map
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, pkt: Packet) -> Packet:
+        """Assign the packet's ``via`` waypoint at injection time."""
+        src_layer = self.topo.layer_of(pkt.src)
+        dst_layer = self.topo.layer_of(pkt.dst)
+        if src_layer == dst_layer:
+            pkt.via = None
+        elif pkt.klass is PacketClass.REQUEST and src_layer == 0:
+            if self.region_map is not None:
+                # Region-restricted: serialise through the region TSB.
+                bank = self.topo.bank_of_node(pkt.dst)
+                pkt.via = self.region_map.request_via(bank)
+            else:
+                # Z-X-Y: descend at the source column, X-Y below.
+                pkt.via = pkt.src
+        else:
+            # Cache-to-core traffic (responses, coherence, WB acks) uses
+            # X-Y-Z: traverse the cache layer and ascend at the
+            # destination column, keeping the core layer free for the
+            # request convergence toward the TSBs.
+            _dlayer, dx, dy = self.topo.coords(pkt.dst)
+            pkt.via = self.topo.node_id(src_layer, dx, dy)
+        return pkt
+
+    # ------------------------------------------------------------------
+
+    def _xy_port(self, x: int, y: int, tx: int, ty: int) -> int:
+        if x != tx:
+            return EAST if tx > x else WEST
+        if y != ty:
+            return NORTH if ty > y else SOUTH
+        raise RoutingError("xy step requested at the target node")
+
+    def next_port(self, node: int, pkt: Packet) -> int:
+        """Output port for ``pkt`` at ``node``.
+
+        Consumes the ``via`` waypoint when the packet reaches it.
+        """
+        if node == pkt.dst:
+            return LOCAL
+        layer, x, y = self.topo.coords(node)
+        if pkt.via is not None:
+            if node == pkt.via:
+                pkt.via = None
+            else:
+                vlayer, vx, vy = self.topo.coords(pkt.via)
+                if vlayer != layer:
+                    raise RoutingError(
+                        f"waypoint {pkt.via} is not in layer {layer}"
+                    )
+                return self._xy_port(x, y, vx, vy)
+        dlayer, dx, dy = self.topo.coords(pkt.dst)
+        if layer != dlayer:
+            return DOWN if dlayer > layer else UP
+        return self._xy_port(x, y, dx, dy)
+
+    # ------------------------------------------------------------------
+
+    def route_nodes(self, pkt: Packet) -> list:
+        """Full node sequence this packet will take (for analysis/tests).
+
+        Does not mutate the packet.
+        """
+        saved_via = pkt.via
+        nodes = [pkt.src]
+        node = pkt.src
+        limit = 4 * self.topo.n_nodes
+        while node != pkt.dst:
+            port = self.next_port(node, pkt)
+            nxt = self.topo.neighbor(node, port)
+            if nxt is None:
+                raise RoutingError(f"route fell off the mesh at {node}")
+            nodes.append(nxt)
+            node = nxt
+            if len(nodes) > limit:  # pragma: no cover - safety net
+                raise RoutingError("routing loop detected")
+        pkt.via = saved_via
+        return nodes

@@ -1,0 +1,144 @@
+"""Two-layer 3D mesh topology (paper Section 4.1, Figure 4).
+
+The CMP has two stacked silicon layers connected by through-silicon vias:
+
+* layer 0 ("core layer"): ``W x W`` mesh, one core + router per node;
+* layer 1 ("cache layer"): ``W x W`` mesh, one L2 bank + router per node.
+
+Node ids follow the paper's Figure 4: node ``y * W + x`` in the core layer
+and ``W*W + y * W + x`` in the cache layer, so cache bank ``b`` sits at
+node ``W*W + b`` directly below core ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import TopologyError
+
+# Port indices of a 3D mesh router (P=7: 4 cardinal, 2 vertical, 1 local).
+EAST, WEST, NORTH, SOUTH, UP, DOWN, LOCAL = range(7)
+N_PORTS = 7
+
+PORT_NAMES = ("EAST", "WEST", "NORTH", "SOUTH", "UP", "DOWN", "LOCAL")
+
+#: The inverse direction of each port (for credit/estimate back-channels).
+OPPOSITE = (WEST, EAST, SOUTH, NORTH, DOWN, UP, LOCAL)
+
+
+class Mesh3D:
+    """Geometry helper for the two-layer mesh.
+
+    The topology is purely combinational: it answers coordinate and
+    neighbourhood queries and enumerates links; routers and links
+    themselves live in :mod:`repro.noc.network`.
+    """
+
+    def __init__(self, width: int):
+        if width < 2:
+            raise TopologyError("mesh width must be >= 2")
+        self.width = width
+        self.nodes_per_layer = width * width
+        self.n_nodes = 2 * self.nodes_per_layer
+
+    # -- coordinates ----------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, int, int]:
+        """Return ``(layer, x, y)`` for a node id."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"bad node id {node}")
+        layer, offset = divmod(node, self.nodes_per_layer)
+        y, x = divmod(offset, self.width)
+        return layer, x, y
+
+    def node_id(self, layer: int, x: int, y: int) -> int:
+        if not (0 <= layer < 2 and 0 <= x < self.width and 0 <= y < self.width):
+            raise TopologyError(f"bad coordinate ({layer}, {x}, {y})")
+        return layer * self.nodes_per_layer + y * self.width + x
+
+    def layer_of(self, node: int) -> int:
+        return node // self.nodes_per_layer
+
+    def core_node(self, core: int) -> int:
+        """Router node id of core ``core`` (layer 0)."""
+        if not 0 <= core < self.nodes_per_layer:
+            raise TopologyError(f"bad core id {core}")
+        return core
+
+    def bank_node(self, bank: int) -> int:
+        """Router node id of L2 bank ``bank`` (layer 1)."""
+        if not 0 <= bank < self.nodes_per_layer:
+            raise TopologyError(f"bad bank id {bank}")
+        return self.nodes_per_layer + bank
+
+    def bank_of_node(self, node: int) -> int:
+        """Inverse of :meth:`bank_node`."""
+        if node < self.nodes_per_layer:
+            raise TopologyError(f"node {node} is not in the cache layer")
+        return node - self.nodes_per_layer
+
+    # -- neighbourhood ----------------------------------------------------
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Node reached through ``port``, or None at a mesh edge."""
+        layer, x, y = self.coords(node)
+        if port == EAST:
+            return self.node_id(layer, x + 1, y) if x + 1 < self.width else None
+        if port == WEST:
+            return self.node_id(layer, x - 1, y) if x >= 1 else None
+        if port == NORTH:
+            return self.node_id(layer, x, y + 1) if y + 1 < self.width else None
+        if port == SOUTH:
+            return self.node_id(layer, x, y - 1) if y >= 1 else None
+        if port == UP:
+            return node - self.nodes_per_layer if layer == 1 else None
+        if port == DOWN:
+            return node + self.nodes_per_layer if layer == 0 else None
+        if port == LOCAL:
+            return None
+        raise TopologyError(f"bad port {port}")
+
+    def links(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every directed link as ``(src_node, out_port, dst_node)``."""
+        for node in range(self.n_nodes):
+            for port in (EAST, WEST, NORTH, SOUTH, UP, DOWN):
+                dst = self.neighbor(node, port)
+                if dst is not None:
+                    yield node, port, dst
+
+    # -- distances ----------------------------------------------------------
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Hop distance between two nodes (XY within layer + vertical)."""
+        la, xa, ya = self.coords(a)
+        lb, xb, yb = self.coords(b)
+        return abs(xa - xb) + abs(ya - yb) + abs(la - lb)
+
+    def xy_path(self, src: int, dst: int) -> List[int]:
+        """Nodes visited by dimension-ordered X-then-Y routing, inclusive.
+
+        Both nodes must be in the same layer.
+        """
+        ls, xs, ys = self.coords(src)
+        ld, xd, yd = self.coords(dst)
+        if ls != ld:
+            raise TopologyError("xy_path requires nodes in the same layer")
+        path = [src]
+        x, y = xs, ys
+        while x != xd:
+            x += 1 if xd > x else -1
+            path.append(self.node_id(ls, x, y))
+        while y != yd:
+            y += 1 if yd > y else -1
+            path.append(self.node_id(ls, x, y))
+        return path
+
+    def corner_nodes(self, layer: int) -> List[int]:
+        """The four corner node ids of a layer (memory controller sites)."""
+        w = self.width
+        return [
+            self.node_id(layer, 0, 0),
+            self.node_id(layer, w - 1, 0),
+            self.node_id(layer, 0, w - 1),
+            self.node_id(layer, w - 1, w - 1),
+        ]

@@ -1,0 +1,27 @@
+"""Simulator assembly, configuration, metrics and experiments."""
+
+from repro.sim.config import (
+    ALL_SCHEMES, CacheTechnology, Estimator, Scheme, SystemConfig,
+    TSBPlacement, WriteBufferConfig, make_config, with_extra_vc,
+    with_write_buffer,
+)
+from repro.sim.experiment import (
+    SchemeComparison, app_factory, compare_schemes, run_scheme,
+    run_workload,
+)
+from repro.sim.metrics import (
+    instruction_throughput, max_slowdown, slowdowns, weighted_speedup,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import CMPSimulator
+from repro.sim.sweep import SweepGrid, SweepResults, run_sweep
+
+__all__ = [
+    "SystemConfig", "Scheme", "ALL_SCHEMES", "CacheTechnology",
+    "Estimator", "TSBPlacement", "WriteBufferConfig", "make_config",
+    "with_write_buffer", "with_extra_vc", "CMPSimulator",
+    "SimulationResult", "SchemeComparison", "compare_schemes",
+    "run_scheme", "run_workload", "app_factory",
+    "instruction_throughput", "weighted_speedup", "max_slowdown",
+    "slowdowns", "SweepGrid", "SweepResults", "run_sweep",
+]

@@ -1,0 +1,326 @@
+"""Top-level CMP simulator: cores + L1s, NoC, L2 banks, directories, MCs.
+
+Wires every substrate together for one design scenario and advances them
+cycle by cycle:
+
+1. the network moves packets and delivers them to endpoint sinks,
+2. memory controllers issue DRAM accesses and return fills,
+3. bank controllers service their request queues,
+4. cores commit instructions and issue L1 misses into the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.bank import BankController
+from repro.cache.memory import (
+    MemoryController, mc_for_block, place_memory_controllers,
+)
+from repro.cache.messages import AckMsg, MemMsg
+from repro.core.arbitration import BankAwareArbiter, RoundRobinArbiter
+from repro.core.busy import BankBusyTracker
+from repro.core.estimators import WindowEstimator, make_estimator
+from repro.core.regions import build_region_map
+from repro.cpu.core import Core
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.routing import RoutingPolicy
+from repro.noc.topology import Mesh3D
+from repro.sim.config import Estimator, SystemConfig
+from repro.sim.results import SimulationResult
+from repro.workloads.mixes import Workload
+
+
+class CMPSimulator:
+    """One simulated CMP instance running one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload,
+                 log_bank_accesses: bool = False, prewarm: bool = True):
+        config.validate()
+        if workload.n_cores != config.n_cores:
+            raise ValueError(
+                f"workload has {workload.n_cores} streams, config needs "
+                f"{config.n_cores}"
+            )
+        self.config = config
+        self.workload = workload
+        self.cycle = 0
+
+        self.topo = Mesh3D(config.mesh_width)
+        self.region_map = build_region_map(config, self.topo)
+        self.routing = RoutingPolicy(self.topo, self.region_map)
+        self.estimator = make_estimator(config)
+        self.tracker: Optional[BankBusyTracker] = None
+        if self.estimator is not None and self.region_map is not None:
+            self.tracker = BankBusyTracker(config)
+            self.arbiter = BankAwareArbiter(
+                config, self.region_map, self.tracker, self.estimator,
+            )
+        else:
+            self.arbiter = RoundRobinArbiter()
+        self.network = Network(
+            config, self.topo, self.routing, self.arbiter, self.estimator,
+        )
+
+        n = config.n_cores
+
+        def can_send_from(node: int):
+            return lambda: self.network.can_inject(node)
+
+        self.cores: List[Core] = [
+            Core(i, self.topo.core_node(i), config, workload.streams[i],
+                 self._send, self._bank_node_for_block,
+                 can_send=can_send_from(self.topo.core_node(i)))
+            for i in range(n)
+        ]
+        self.banks: List[BankController] = [
+            BankController(
+                b, self.topo.bank_node(b), config, self._send,
+                self._mc_node_for_block, self.topo.core_node,
+                log_accesses=log_bank_accesses,
+            )
+            for b in range(config.n_banks)
+        ]
+        self.mc_nodes = place_memory_controllers(config, self.topo)
+        self.mcs: List[MemoryController] = []
+        self._mc_at_node: Dict[int, MemoryController] = {}
+        for i, node in enumerate(self.mc_nodes):
+            mc = MemoryController(i, node, config)
+            mc.send_response = self._send_memory_response
+            self.mcs.append(mc)
+            self._mc_at_node[node] = mc
+
+        for i in range(n):
+            node = self.topo.core_node(i)
+            self.network.register_sink(node, self._make_core_sink(i))
+        for b in range(config.n_banks):
+            node = self.topo.bank_node(b)
+            self.network.register_sink(
+                node, self._make_bank_sink(b),
+                flow_control=self._make_bank_flow_control(b),
+            )
+
+        if prewarm:
+            self.prewarm()
+
+    # ------------------------------------------------------------------
+    # Cache pre-warming
+    # ------------------------------------------------------------------
+
+    def prewarm(self) -> None:
+        """Install steady-state cache contents analytically.
+
+        Synthetic streams expose their reuse pools and hot sets; filling
+        them into the L2 arrays (and the hot sets into the L1s, with
+        directory sharers recorded) lets short measurement windows
+        behave like the tail of a long warm-up.  Streams without the
+        protocol (scripted tests) are left untouched.
+        """
+        shared_done = False
+        for core in self.cores:
+            stream = core.stream
+            pool_blocks = getattr(stream, "prewarm_blocks", None)
+            if pool_blocks is None:
+                continue
+            for block in pool_blocks():
+                self._install_l2(block)
+            for block in getattr(stream, "hot_blocks", list)():
+                self._install_l2(block)
+                core.l1.fill(block)
+                bank = self.banks[self.bank_for_block(block)]
+                bank.directory.on_request(core.core_id, block, False)
+            if not shared_done:
+                shared = getattr(stream, "shared_blocks", None)
+                if shared is not None:
+                    for block in shared():
+                        self._install_l2(block)
+                    shared_done = True
+
+    def _install_l2(self, block: int) -> None:
+        bank = self.banks[self.bank_for_block(block)]
+        bank.array.fill(block)
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def bank_for_block(self, block: int) -> int:
+        return block % self.config.n_banks
+
+    def _bank_node_for_block(self, block: int) -> int:
+        return self.topo.bank_node(self.bank_for_block(block))
+
+    def _mc_node_for_block(self, block: int) -> int:
+        mc = mc_for_block(block, len(self.mc_nodes))
+        return self.mc_nodes[mc]
+
+    # ------------------------------------------------------------------
+    # Packet plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, klass: PacketClass, src: int, dst: int, flits: int,
+              is_write: bool, bank: Optional[int], payload,
+              now: int) -> None:
+        if bank is None and klass is PacketClass.REQUEST:
+            bank = self.topo.bank_of_node(dst)
+        pkt = Packet(
+            klass, src, dst, flits, inject_cycle=now,
+            is_write=is_write, bank=bank, payload=payload,
+        )
+        self.network.inject(pkt, now)
+
+    def _send_memory_response(self, msg: MemMsg, now: int) -> None:
+        response = MemMsg(
+            block=msg.block, is_write=False, bank=msg.bank,
+            response=True, txn=msg.txn,
+        )
+        dst = self.topo.bank_node(msg.bank)
+        src = self._mc_node_for_block(msg.block)
+        pkt = Packet(
+            PacketClass.MEMORY, src, dst,
+            self.config.data_packet_flits, inject_cycle=now,
+            is_write=False, payload=response,
+        )
+        self.network.inject(pkt, now)
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+
+    def _make_core_sink(self, core_id: int) -> Callable[[Packet, int], None]:
+        core = self.cores[core_id]
+
+        def sink(pkt: Packet, now: int) -> None:
+            if pkt.klass is PacketClass.ACK:
+                self._handle_wb_ack(pkt, now)
+            else:
+                core.on_packet(pkt, now)
+
+        return sink
+
+    def _make_bank_sink(self, bank_id: int) -> Callable[[Packet, int], None]:
+        bank = self.banks[bank_id]
+        node = self.topo.bank_node(bank_id)
+        mc = self._mc_at_node.get(node)
+
+        def sink(pkt: Packet, now: int) -> None:
+            if pkt.klass is PacketClass.ACK:
+                self._handle_wb_ack(pkt, now)
+                return
+            if pkt.klass is PacketClass.MEMORY:
+                msg = pkt.payload
+                if getattr(msg, "response", False):
+                    bank.on_packet(pkt, now)
+                elif mc is not None:
+                    mc.on_packet(pkt, now)
+                else:  # pragma: no cover - misrouted packet
+                    raise RuntimeError(
+                        f"memory request at non-MC node {node}"
+                    )
+                return
+            if (
+                pkt.klass is PacketClass.REQUEST
+                and pkt.wb_timestamp is not None
+            ):
+                self._send_wb_ack(pkt, bank_id, now)
+            bank.on_packet(pkt, now)
+
+        return sink
+
+    def _make_bank_flow_control(self, bank_id: int):
+        bank = self.banks[bank_id]
+        node = self.topo.bank_node(bank_id)
+        mc = self._mc_at_node.get(node)
+
+        def flow_control(pkt: Packet) -> bool:
+            if pkt.klass is PacketClass.MEMORY and mc is not None:
+                msg = pkt.payload
+                if not msg.response:
+                    return True  # MC requests bypass the bank queue
+            if pkt.klass is PacketClass.ACK:
+                return True
+            return bank.can_accept(pkt)
+
+        return flow_control
+
+    def _send_wb_ack(self, pkt: Packet, bank_id: int, now: int) -> None:
+        if self.region_map is None:
+            return
+        parent = self.region_map.parent_of_bank[bank_id]
+        ack = AckMsg(bank=bank_id, timestamp=pkt.wb_timestamp)
+        self._send(
+            PacketClass.ACK, self.topo.bank_node(bank_id), parent,
+            self.config.addr_packet_flits, False, None, ack, now,
+        )
+
+    def _handle_wb_ack(self, pkt: Packet, now: int) -> None:
+        if not isinstance(self.estimator, WindowEstimator):
+            return
+        msg: AckMsg = pkt.payload
+        elapsed = now - msg.timestamp
+        self.estimator.on_ack(pkt.dst, msg.bank, elapsed, now)
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        now = self.cycle
+        self.network.step(now)
+        for mc in self.mcs:
+            mc.step(now)
+        for bank in self.banks:
+            bank.step(now)
+        for core in self.cores:
+            core.step(now)
+        self.cycle += 1
+
+    def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
+        """Advance the simulation and collect a measurement window.
+
+        Warm-up cycles populate caches and network state; statistics are
+        measured over the following ``cycles`` cycles.
+        """
+        for _ in range(warmup):
+            self.step()
+        committed_at_start = [c.stats.committed for c in self.cores]
+        start_cycle = self.cycle
+        self._reset_measurement_stats()
+        for _ in range(cycles):
+            self.step()
+        return SimulationResult.collect(
+            self, start_cycle, committed_at_start,
+        )
+
+    def _reset_measurement_stats(self) -> None:
+        from repro.noc.stats import NetworkStats
+        from repro.cache.bank import BankStats
+
+        self.network.stats = NetworkStats()
+        for bank in self.banks:
+            bank.stats = BankStats()
+            if bank.log_accesses:
+                bank.access_log = []
+
+    # ------------------------------------------------------------------
+
+    def drain(self, max_cycles: int = 100_000, min_cycles: int = 4) -> bool:
+        """Run until all in-flight traffic completes (tests/examples).
+
+        Steps at least ``min_cycles`` so freshly constructed cores get to
+        issue before the quiesce check; infinite synthetic streams never
+        drain -- this is for scripted/finite workloads.
+        """
+        for cycle in range(max_cycles):
+            self.step()
+            if cycle < min_cycles:
+                continue
+            if (
+                self.network.quiesced()
+                and all(b.idle(self.cycle) for b in self.banks)
+                and all(mc.idle() for mc in self.mcs)
+                and all(c.quiesced() for c in self.cores)
+            ):
+                return True
+        return False

@@ -1,0 +1,120 @@
+"""Batch experiment sweeps with JSON persistence.
+
+Runs a grid of (scheme x workload) experiments, collects the
+:class:`~repro.sim.results.SimulationResult` summaries, and serialises
+them so analyses can be re-plotted without re-simulating::
+
+    grid = SweepGrid(apps=["tpcc", "mcf"], schemes=ALL_SCHEMES,
+                     cycles=2500, warmup=1000,
+                     overrides={"mesh_width": 8, "capacity_scale": 1/16})
+    sweep = run_sweep(grid)
+    sweep.save("results.json")
+    later = SweepResults.load("results.json")
+    later.normalized("instruction_throughput", baseline="SRAM-64TSB")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.config import ALL_SCHEMES, Scheme
+from repro.sim.experiment import app_factory, run_scheme
+
+
+@dataclass
+class SweepGrid:
+    """Specification of one experiment grid."""
+
+    apps: Sequence[str]
+    schemes: Sequence[Scheme] = ALL_SCHEMES
+    cycles: int = 2500
+    warmup: int = 1000
+    seed: int = 1
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    def points(self):
+        for app in self.apps:
+            for scheme in self.schemes:
+                yield app, scheme
+
+
+class SweepResults:
+    """Summaries of a completed sweep, keyed by (app, scheme label)."""
+
+    def __init__(self, grid_spec: dict,
+                 data: Dict[str, Dict[str, dict]]):
+        self.grid_spec = grid_spec
+        #: data[app][scheme_label] -> SimulationResult.to_dict()
+        self.data = data
+
+    # ------------------------------------------------------------------
+
+    def metric(self, name: str) -> Dict[str, Dict[str, float]]:
+        """One scalar metric across the whole grid."""
+        return {
+            app: {scheme: summary[name]
+                  for scheme, summary in by_scheme.items()}
+            for app, by_scheme in self.data.items()
+        }
+
+    def normalized(self, name: str,
+                   baseline: str) -> Dict[str, Dict[str, float]]:
+        """Metric per app/scheme divided by the baseline scheme's value."""
+        raw = self.metric(name)
+        out: Dict[str, Dict[str, float]] = {}
+        for app, by_scheme in raw.items():
+            base = by_scheme.get(baseline)
+            if not base:
+                out[app] = {scheme: 0.0 for scheme in by_scheme}
+                continue
+            out[app] = {scheme: value / base
+                        for scheme, value in by_scheme.items()}
+        return out
+
+    def apps(self) -> List[str]:
+        return list(self.data)
+
+    def schemes(self) -> List[str]:
+        first = next(iter(self.data.values()), {})
+        return list(first)
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as fp:
+            json.dump({"grid": self.grid_spec, "data": self.data}, fp,
+                      indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResults":
+        with open(path, "r", encoding="ascii") as fp:
+            payload = json.load(fp)
+        return cls(payload["grid"], payload["data"])
+
+
+ProgressFn = Callable[[str, Scheme], None]
+
+
+def run_sweep(grid: SweepGrid,
+              progress: Optional[ProgressFn] = None) -> SweepResults:
+    """Execute every grid point and collect summaries."""
+    data: Dict[str, Dict[str, dict]] = {}
+    for app, scheme in grid.points():
+        if progress is not None:
+            progress(app, scheme)
+        result = run_scheme(
+            scheme, app_factory(app, seed=grid.seed),
+            cycles=grid.cycles, warmup=grid.warmup, **grid.overrides,
+        )
+        data.setdefault(app, {})[scheme.value] = result.to_dict()
+    spec = {
+        "apps": list(grid.apps),
+        "schemes": [s.value for s in grid.schemes],
+        "cycles": grid.cycles,
+        "warmup": grid.warmup,
+        "seed": grid.seed,
+        "overrides": dict(grid.overrides),
+    }
+    return SweepResults(spec, data)

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import Scheme, SystemConfig, make_config
+
+
+def small_config(scheme: Scheme = Scheme.STTRAM_4TSB_WB,
+                 **overrides) -> SystemConfig:
+    """A 4x4-mesh, scaled-capacity configuration for fast tests."""
+    defaults = dict(mesh_width=4, capacity_scale=1 / 64)
+    defaults.update(overrides)
+    return make_config(scheme, **defaults)
+
+
+def tiny_config(scheme: Scheme = Scheme.STTRAM_64TSB,
+                **overrides) -> SystemConfig:
+    """A 2x2-mesh configuration for protocol-level tests."""
+    defaults = dict(mesh_width=2, capacity_scale=1 / 256)
+    defaults.update(overrides)
+    return make_config(scheme, **defaults)
+
+
+@pytest.fixture
+def cfg_small():
+    return small_config()
+
+
+@pytest.fixture
+def cfg_tiny():
+    return tiny_config()

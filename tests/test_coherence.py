@@ -1,0 +1,113 @@
+"""Tests for the MESI directory slices."""
+
+import pytest
+
+from repro.cache.coherence import Directory
+from repro.cache.messages import CoherenceOp
+
+
+@pytest.fixture
+def directory():
+    return Directory(bank=5)
+
+
+class TestReads:
+    def test_first_reader_becomes_sharer(self, directory):
+        msgs = directory.on_request(core=1, block=100, exclusive=False)
+        assert msgs == []
+        assert directory.sharers_of(100) == {1}
+
+    def test_multiple_readers_accumulate(self, directory):
+        for core in (1, 2, 3):
+            directory.on_request(core, 100, exclusive=False)
+        assert directory.sharers_of(100) == {1, 2, 3}
+
+    def test_read_of_modified_block_forwards(self, directory):
+        directory.on_request(1, 100, exclusive=True)   # core 1 owns M
+        msgs = directory.on_request(2, 100, exclusive=False)
+        assert len(msgs) == 1
+        assert msgs[0].op is CoherenceOp.FORWARD
+        assert msgs[0].sharer == 1          # forward to the old owner
+        assert msgs[0].requester_core == 2
+        entry = directory.entry(100)
+        assert entry.owner is None          # downgraded to shared
+        assert entry.sharers == {1, 2}
+
+
+class TestWritesAndOwnership:
+    def test_exclusive_request_invalidates_sharers(self, directory):
+        for core in (1, 2, 3):
+            directory.on_request(core, 100, exclusive=False)
+        msgs = directory.on_request(4, 100, exclusive=True)
+        invals = [m for m in msgs if m.op is CoherenceOp.INVALIDATE]
+        assert sorted(m.sharer for m in invals) == [1, 2, 3]
+        entry = directory.entry(100)
+        assert entry.owner == 4
+        assert entry.sharers == {4}
+
+    def test_rfo_of_modified_block_forwards_exclusively(self, directory):
+        directory.on_request(1, 100, exclusive=True)
+        msgs = directory.on_request(2, 100, exclusive=True)
+        assert msgs[0].op is CoherenceOp.FORWARD
+        assert msgs[0].exclusive
+        assert directory.entry(100).owner == 2
+
+    def test_own_upgrade_sends_nothing(self, directory):
+        directory.on_request(1, 100, exclusive=True)
+        assert directory.on_request(1, 100, exclusive=True) == []
+
+    def test_store_write_invalidates_all(self, directory):
+        for core in (1, 2):
+            directory.on_request(core, 100, exclusive=False)
+        msgs = directory.on_store_write(core=3, block=100)
+        assert sorted(m.sharer for m in msgs) == [1, 2]
+        assert all(m.op is CoherenceOp.INVALIDATE for m in msgs)
+        # Write-no-allocate: nobody caches the line afterwards.
+        assert directory.entry(100) is None
+
+    def test_store_write_to_untracked_block(self, directory):
+        assert directory.on_store_write(1, 999) == []
+
+
+class TestWritebacksAndEvictions:
+    def test_writeback_clears_ownership(self, directory):
+        directory.on_request(1, 100, exclusive=True)
+        directory.on_writeback(1, 100)
+        assert directory.entry(100) is None
+
+    def test_writeback_keeps_other_sharers(self, directory):
+        directory.on_request(1, 100, exclusive=False)
+        directory.on_request(2, 100, exclusive=False)
+        directory.on_writeback(1, 100)
+        assert directory.sharers_of(100) == {2}
+
+    def test_l2_eviction_recalls_sharers(self, directory):
+        for core in (1, 2):
+            directory.on_request(core, 100, exclusive=False)
+        msgs = directory.on_l2_eviction(100)
+        assert sorted(m.sharer for m in msgs) == [1, 2]
+        assert all(m.op is CoherenceOp.RECALL for m in msgs)
+        assert directory.entry(100) is None
+        assert directory.recalls_sent == 2
+
+    def test_eviction_of_untracked_block(self, directory):
+        assert directory.on_l2_eviction(12345) == []
+
+
+class TestInvariants:
+    def test_invariants_hold_through_random_protocol_walk(self, directory):
+        import random
+        rng = random.Random(7)
+        for _ in range(2000):
+            core = rng.randrange(8)
+            block = rng.randrange(20)
+            op = rng.randrange(4)
+            if op == 0:
+                directory.on_request(core, block, exclusive=False)
+            elif op == 1:
+                directory.on_request(core, block, exclusive=True)
+            elif op == 2:
+                directory.on_writeback(core, block)
+            else:
+                directory.on_l2_eviction(block)
+            directory.check_invariants()

@@ -1,0 +1,114 @@
+"""Tests for the extension features: trace files and write termination."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import ScriptedStream, StridedStream
+from repro.cpu.tracefile import (
+    RecordingStream, TraceFileStream, read_trace, write_trace,
+)
+from repro.errors import WorkloadError
+from repro.sim.config import Scheme, make_config
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.mixes import homogeneous
+
+
+class TestTraceIO:
+    def test_roundtrip(self):
+        accesses = [(2, 100, True), (0, 200, False), (5, 300, True)]
+        buf = io.StringIO()
+        assert write_trace(buf, accesses) == 3
+        buf.seek(0)
+        assert read_trace(buf) == accesses
+
+    def test_comments_and_blanks_skipped(self):
+        buf = io.StringIO("# header\n\n1 2 0\n")
+        assert read_trace(buf) == [(1, 2, False)]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("1 2\n"))
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("a b c\n"))
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("1 2 7\n"))
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("-1 2 0\n"))
+
+    def test_recording_stream_passthrough(self):
+        inner = ScriptedStream([(1, 10, False), (2, 20, True)])
+        rec = RecordingStream(inner)
+        out = [rec.next_access() for _ in range(2)]
+        assert rec.recorded == out
+
+    def test_recording_limit(self):
+        rec = RecordingStream(
+            StridedStream(gap=0, start_block=0, stride=1, n_blocks=100),
+            limit=5)
+        for _ in range(20):
+            rec.next_access()
+        assert len(rec.recorded) == 5
+
+    def test_trace_file_stream_replays(self):
+        buf = io.StringIO()
+        write_trace(buf, [(1, 10, False), (0, 11, True)])
+        buf.seek(0)
+        stream = TraceFileStream(buf)
+        assert stream.next_access() == (1, 10, False)
+        assert stream.next_access() == (0, 11, True)
+
+    def test_record_then_replay_matches(self, tmp_path):
+        cfg = make_config(Scheme.STTRAM_64TSB, mesh_width=2,
+                          capacity_scale=1 / 256)
+        stream = homogeneous("tpcc", cfg).streams[0]
+        rec = RecordingStream(stream, limit=100)
+        original = [rec.next_access() for _ in range(100)]
+        path = tmp_path / "trace.txt"
+        with open(path, "w") as fp:
+            rec.dump(fp)
+        replay = TraceFileStream.from_path(str(path))
+        assert [replay.next_access() for _ in range(100)] == original
+
+
+class TestWriteTermination:
+    def _run(self, termination):
+        cfg = make_config(Scheme.STTRAM_64TSB, mesh_width=4,
+                          capacity_scale=1 / 64,
+                          write_termination=termination)
+        sim = CMPSimulator(cfg, homogeneous("tpcc", cfg))
+        return sim, sim.run(1000, warmup=400)
+
+    def test_termination_saves_cycles(self):
+        sim, _res = self._run(True)
+        saved = sum(b.termination_cycles_saved for b in sim.banks)
+        assert saved > 0
+
+    def test_disabled_by_default(self):
+        sim, _res = self._run(False)
+        assert all(b.termination_cycles_saved == 0 for b in sim.banks)
+
+    def test_termination_reduces_bank_queueing(self):
+        _s1, plain = self._run(False)
+        _s2, early = self._run(True)
+        assert early.avg_bank_queue_wait < plain.avg_bank_queue_wait
+
+    def test_service_bounds(self):
+        cfg = make_config(Scheme.STTRAM_64TSB, write_termination=True,
+                          mesh_width=4, capacity_scale=1 / 64)
+        sim = CMPSimulator(cfg, homogeneous("tpcc", cfg))
+        bank = sim.banks[0]
+        for _ in range(200):
+            cycles = bank._array_write_cycles()
+            assert bank.read_cycles <= cycles <= bank.write_cycles
+
+    def test_deterministic_per_seed(self):
+        def saved(seed):
+            cfg = make_config(Scheme.STTRAM_64TSB, mesh_width=4,
+                              capacity_scale=1 / 64,
+                              write_termination=True, seed=seed)
+            sim = CMPSimulator(cfg, homogeneous("tpcc", cfg, seed=seed))
+            sim.run(600, warmup=200)
+            return sum(b.termination_cycles_saved for b in sim.banks)
+
+        assert saved(3) == saved(3)

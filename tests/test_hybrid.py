@@ -1,0 +1,105 @@
+"""Tests for the hybrid SRAM/STT-RAM bank extension."""
+
+import pytest
+
+from repro.cache.hybrid import HybridPartition
+from repro.sim.config import Scheme, make_config
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.mixes import homogeneous
+from tests.test_bank import Harness, read_txn, write_txn
+
+
+def hybrid_config(**overrides):
+    defaults = dict(mesh_width=4, capacity_scale=1 / 64,
+                    hybrid_sram_ways=4)
+    defaults.update(overrides)
+    return make_config(Scheme.STTRAM_64TSB, **defaults)
+
+
+class TestPartition:
+    def test_capacity_is_way_fraction(self):
+        cfg = hybrid_config()
+        part = HybridPartition(cfg, bank=0)
+        full_blocks = cfg.l2_bank_bytes // cfg.block_bytes
+        expected = full_blocks * 4 // cfg.l2_associativity
+        assert part.array.n_blocks == expected
+
+    def test_absorb_and_lookup(self):
+        part = HybridPartition(hybrid_config(), bank=0)
+        assert part.absorb_write(100) is None
+        assert part.lookup(100)
+        assert not part.lookup(200)
+        assert part.writes_absorbed == 1
+        assert part.read_hits == 1
+
+    def test_dirty_victim_migrates(self):
+        cfg = hybrid_config()
+        part = HybridPartition(cfg, bank=0)
+        stride = part.array.n_sets * cfg.n_banks
+        victims = [part.absorb_write(i * stride) for i in range(5)]
+        migrated = [v for v in victims if v is not None]
+        assert migrated  # 4 ways -> the 5th write evicts a dirty block
+        assert part.migrations == len(migrated)
+
+
+class TestHybridBank:
+    @pytest.fixture
+    def bank(self):
+        return Harness(hybrid_config())
+
+    def test_write_completes_at_sram_speed(self, bank):
+        bank.deliver("request", write_txn(block=0))
+        bank.tick(1)
+        assert bank.bank.busy_until == 3  # SRAM write, not 33
+
+    def test_read_hits_hybrid_partition(self, bank):
+        bank.deliver("request", write_txn(block=0))
+        bank.tick(10)
+        bank.deliver("request", read_txn(block=0))
+        bank.tick(10)
+        assert bank.bank.stats.l2_hits == 1
+
+    def test_single_copy_invariant(self, bank):
+        bank.bank.array.fill(0)
+        bank.deliver("request", write_txn(block=0))
+        bank.tick(10)
+        assert bank.bank.hybrid.lookup(0)
+        assert not bank.bank.array.contains(0)
+
+    def test_migration_lands_in_stt_array(self, bank):
+        stride = bank.bank.hybrid.array.n_sets * bank.config.n_banks
+        for i in range(5):
+            bank.deliver("request", write_txn(block=i * stride))
+            bank.tick(50)
+        bank.tick(100)
+        # The evicted dirty block ended up in the STT-RAM array.
+        in_main = sum(
+            1 for i in range(5) if bank.bank.array.contains(i * stride))
+        in_hybrid = sum(
+            1 for i in range(5)
+            if bank.bank.hybrid.array.contains(i * stride))
+        assert in_hybrid == 4
+        assert in_main == 1
+
+
+class TestSystemLevel:
+    def _run(self, hybrid_ways):
+        cfg = make_config(Scheme.STTRAM_64TSB, mesh_width=4,
+                          capacity_scale=1 / 64,
+                          hybrid_sram_ways=hybrid_ways)
+        sim = CMPSimulator(cfg, homogeneous("tpcc", cfg))
+        return sim, sim.run(1000, warmup=400)
+
+    def test_hybrid_cuts_bank_queueing_for_write_heavy_app(self):
+        _s1, plain = self._run(0)
+        _s2, hybrid = self._run(4)
+        assert hybrid.avg_bank_queue_wait < plain.avg_bank_queue_wait
+
+    def test_migrations_occur(self):
+        sim, _res = self._run(2)
+        migrations = sum(b.hybrid.migrations for b in sim.banks)
+        assert migrations > 0
+
+    def test_disabled_by_default(self):
+        sim, _res = self._run(0)
+        assert all(b.hybrid is None for b in sim.banks)

@@ -1,0 +1,97 @@
+"""Property-based tests of the network: conservation and termination.
+
+The central invariant of any NoC model: packets are conserved -- every
+injected packet is eventually delivered exactly once, none are dropped
+or duplicated, under arbitrary traffic patterns and both arbiters.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arbitration import RoundRobinArbiter
+from repro.core.regions import RegionMap
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.routing import RoutingPolicy
+from repro.noc.topology import Mesh3D
+from repro.sim.config import Scheme, make_config
+
+
+def build(scheme, width=4):
+    cfg = make_config(scheme, mesh_width=width)
+    topo = Mesh3D(cfg.mesh_width)
+    rm = None
+    if cfg.n_region_tsbs is not None:
+        rm = RegionMap(topo, cfg.n_region_tsbs, cfg.tsb_placement,
+                       cfg.parent_hop_distance)
+    net = Network(cfg, topo, RoutingPolicy(topo, rm), RoundRobinArbiter())
+    return cfg, topo, net
+
+
+traffic = st.lists(
+    st.tuples(
+        st.integers(0, 15),              # source core
+        st.integers(0, 15),              # destination bank
+        st.sampled_from([1, 8]),         # flits
+        st.booleans(),                   # is_write
+        st.integers(0, 30),              # inject cycle
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(packets=traffic,
+       scheme=st.sampled_from([Scheme.STTRAM_64TSB, Scheme.STTRAM_4TSB]))
+def test_property_packet_conservation(packets, scheme):
+    cfg, topo, net = build(scheme)
+    delivered = []
+    for node in range(topo.n_nodes):
+        net.register_sink(node, lambda p, t: delivered.append(p.pid))
+
+    schedule = sorted(packets, key=lambda p: p[4])
+    injected = []
+    now = 0
+    idx = 0
+    horizon = max(p[4] for p in packets) + 3000
+    while now < horizon and (idx < len(schedule) or not net.quiesced()):
+        while idx < len(schedule) and schedule[idx][4] <= now:
+            src, bank, flits, is_write, when = schedule[idx]
+            dst = topo.bank_node(bank)
+            pkt = Packet(PacketClass.REQUEST, src, dst, flits,
+                         inject_cycle=now, is_write=is_write, bank=bank)
+            net.inject(pkt, now)
+            injected.append(pkt.pid)
+            idx += 1
+        net.step(now)
+        now += 1
+
+    assert sorted(delivered) == sorted(injected)
+    assert net.quiesced()
+    assert net.stats.total_delivered == len(injected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(packets=traffic)
+def test_property_latency_at_least_minimal_path(packets):
+    cfg, topo, net = build(Scheme.STTRAM_64TSB)
+    latencies = {}
+    for node in range(topo.n_nodes):
+        net.register_sink(
+            node, lambda p, t: latencies.__setitem__(p.pid, (p, t)))
+    pkts = []
+    for src, bank, flits, is_write, _w in packets:
+        pkt = Packet(PacketClass.REQUEST, src, topo.bank_node(bank),
+                     flits, inject_cycle=0, is_write=is_write, bank=bank)
+        net.inject(pkt, 0)
+        pkts.append(pkt)
+    for now in range(4000):
+        net.step(now)
+        if net.quiesced():
+            break
+    assert net.quiesced()
+    for pkt in pkts:
+        p, t = latencies[pkt.pid]
+        hops = topo.manhattan(p.src, p.dst)
+        # Cannot beat the zero-load bound: hop latency per hop.
+        if hops:
+            assert t - p.inject_cycle >= (hops - 1) * cfg.hop_cycles

@@ -1,0 +1,182 @@
+"""Tests for repro.core.regions (Section 3.4 partitioning)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.regions import RegionMap, build_region_map
+from repro.errors import ConfigError
+from repro.noc.topology import Mesh3D
+from repro.sim.config import Scheme, TSBPlacement, make_config
+
+
+def region_map(width=8, n_regions=4, placement=TSBPlacement.CORNER,
+               hops=2):
+    return RegionMap(Mesh3D(width), n_regions, placement, hops)
+
+
+class TestPartitioning:
+    def test_four_quadrants_on_8x8(self):
+        rm = region_map()
+        assert len(rm.regions) == 4
+        for region in rm.regions:
+            assert len(region.banks) == 16
+        # Every bank belongs to exactly one region.
+        seen = [b for r in rm.regions for b in r.banks]
+        assert sorted(seen) == list(range(64))
+
+    def test_eight_regions_tile_exactly(self):
+        rm = region_map(n_regions=8)
+        assert len(rm.regions) == 8
+        for region in rm.regions:
+            assert len(region.banks) == 8
+
+    def test_sixteen_regions(self):
+        rm = region_map(n_regions=16)
+        assert all(len(r.banks) == 4 for r in rm.regions)
+
+    def test_invalid_region_count_rejected(self):
+        with pytest.raises(ConfigError):
+            region_map(n_regions=7)
+
+    def test_paper_figure4_tsb_location(self):
+        # Region 0 (lower-left quadrant) TSB at cache node 91, managed
+        # from core node 27 (Section 3.4).
+        rm = region_map()
+        region0 = rm.region_of(0)
+        assert region0.tsb_cache_node == 91
+        assert region0.tsb_core_node == 27
+
+    def test_corner_tsbs_are_innermost(self):
+        rm = region_map()
+        topo = rm.topo
+        centre = (8 - 1) / 2.0
+        for region in rm.regions:
+            _l, x, y = topo.coords(region.tsb_cache_node)
+            x0, y0, x1, y1 = region.bounds
+            # The chosen corner is the region corner nearest the centre.
+            others = [(cx, cy) for cx in (x0, x1) for cy in (y0, y1)]
+            dist = abs(x - centre) + abs(y - centre)
+            assert dist == min(
+                abs(cx - centre) + abs(cy - centre) for cx, cy in others
+            )
+
+    def test_staggered_tsbs_use_distinct_columns(self):
+        rm = region_map(placement=TSBPlacement.STAGGER, n_regions=4)
+        topo = rm.topo
+        columns_by_row = {}
+        for region in rm.regions:
+            _l, x, y = topo.coords(region.tsb_cache_node)
+            columns_by_row.setdefault(y, []).append(x)
+        for columns in columns_by_row.values():
+            assert len(columns) == len(set(columns))
+
+
+class TestParentChild:
+    def test_every_bank_has_a_parent(self):
+        rm = region_map()
+        assert set(rm.parent_of_bank) == set(range(64))
+
+    def test_paper_figure5_parents(self):
+        # Router 91 manages banks 75, 82 and 89 (two hops away); router
+        # 90 manages banks 74, 81 and 88 (Section 3.4).
+        rm = region_map()
+        for bank_node in (75, 82, 89):
+            assert rm.parent_of_bank[bank_node - 64] == 91
+        for bank_node in (74, 81, 88):
+            assert rm.parent_of_bank[bank_node - 64] == 90
+
+    def test_near_banks_managed_from_core_layer(self):
+        # Banks closer than H hops to the TSB are managed by the
+        # region-TSB node vertically above (e.g. node 27 for region 0).
+        rm = region_map()
+        region0 = rm.regions[rm.region_of_bank[91 - 64]]
+        near_banks = [
+            b for b in region0.banks
+            if rm.topo.manhattan(rm.topo.bank_node(b),
+                                 region0.tsb_cache_node) < 2
+        ]
+        for bank in near_banks:
+            assert rm.parent_of_bank[bank] == region0.tsb_core_node
+
+    def test_parent_distance_is_hop_distance(self):
+        rm = region_map(hops=2)
+        for bank, parent in rm.parent_of_bank.items():
+            if rm.topo.layer_of(parent) == 1:
+                assert rm.expected_child_distance(bank) == 2
+
+    def test_children_inverse_of_parents(self):
+        rm = region_map()
+        for parent, children in rm.children_of.items():
+            for bank in children:
+                assert rm.parent_of_bank[bank] == parent
+
+    def test_parent_lies_on_tsb_to_bank_route(self):
+        rm = region_map()
+        topo = rm.topo
+        for bank, parent in rm.parent_of_bank.items():
+            if topo.layer_of(parent) != 1:
+                continue
+            region = rm.region_of(bank)
+            path = topo.xy_path(region.tsb_cache_node,
+                                topo.bank_node(bank))
+            assert parent in path
+
+    def test_hop_distance_one(self):
+        rm = region_map(hops=1)
+        for bank in range(64):
+            parent = rm.parent_of_bank[bank]
+            if rm.topo.layer_of(parent) == 1:
+                dist = rm.topo.manhattan(parent, rm.topo.bank_node(bank))
+                assert dist == 1
+
+    def test_request_via_is_region_core_node(self):
+        rm = region_map()
+        for bank in range(64):
+            assert rm.request_via(bank) \
+                == rm.region_of(bank).tsb_core_node
+
+
+class TestBuildFromConfig:
+    def test_none_for_unrestricted(self):
+        cfg = make_config(Scheme.STTRAM_64TSB)
+        assert build_region_map(cfg) is None
+
+    def test_built_for_restricted(self):
+        cfg = make_config(Scheme.STTRAM_4TSB)
+        rm = build_region_map(cfg)
+        assert rm is not None
+        assert rm.n_regions == 4
+
+    def test_placement_from_config(self):
+        cfg = make_config(Scheme.STTRAM_4TSB,
+                          tsb_placement=TSBPlacement.STAGGER)
+        assert build_region_map(cfg).placement is TSBPlacement.STAGGER
+
+
+@given(
+    width=st.sampled_from([4, 8]),
+    n_regions=st.sampled_from([2, 4, 8, 16]),
+    placement=st.sampled_from(list(TSBPlacement)),
+    hops=st.integers(1, 3),
+)
+def test_property_region_maps_are_total_and_consistent(
+        width, n_regions, placement, hops):
+    if (width * width) % n_regions:
+        return
+    try:
+        rm = RegionMap(Mesh3D(width), n_regions, placement, hops)
+    except ConfigError:
+        return  # untileable combination
+    n_banks = width * width
+    assert sorted(b for r in rm.regions for b in r.banks) \
+        == list(range(n_banks))
+    for bank in range(n_banks):
+        parent = rm.parent_of_bank[bank]
+        assert bank in rm.children_of[parent]
+        # Parent is either in the cache layer at <= hops distance along
+        # the route, or the region's core-layer TSB node.
+        if rm.topo.layer_of(parent) == 1:
+            assert rm.topo.manhattan(
+                parent, rm.topo.bank_node(bank)) == hops
+        else:
+            assert parent == rm.region_of(bank).tsb_core_node

@@ -1,0 +1,149 @@
+"""Tests for repro.noc.routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.regions import RegionMap
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.routing import RoutingPolicy
+from repro.noc.topology import DOWN, LOCAL, Mesh3D, UP
+
+
+def make_packet(klass, src, dst, flits=1):
+    return Packet(klass, src, dst, flits, inject_cycle=0)
+
+
+@pytest.fixture
+def topo():
+    return Mesh3D(8)
+
+
+@pytest.fixture
+def unrestricted(topo):
+    return RoutingPolicy(topo)
+
+
+@pytest.fixture
+def restricted(topo):
+    return RoutingPolicy(topo, RegionMap(topo, 4))
+
+
+class TestUnrestrictedRouting:
+    def test_request_descends_at_source_column(self, topo, unrestricted):
+        # Z-X-Y: core 0 -> bank 63 descends immediately.
+        pkt = make_packet(PacketClass.REQUEST, 0, topo.bank_node(63))
+        unrestricted.prepare(pkt)
+        assert unrestricted.next_port(0, pkt) == DOWN
+
+    def test_request_then_xy_in_cache_layer(self, topo, unrestricted):
+        pkt = make_packet(PacketClass.REQUEST, 0, topo.bank_node(63))
+        unrestricted.prepare(pkt)
+        nodes = unrestricted.route_nodes(pkt)
+        assert nodes[0] == 0
+        assert nodes[1] == topo.bank_node(0)
+        assert nodes[-1] == topo.bank_node(63)
+        # Everything after the first hop stays in the cache layer.
+        assert all(topo.layer_of(n) == 1 for n in nodes[1:])
+
+    def test_response_crosses_cache_layer_then_ascends(
+            self, topo, unrestricted):
+        pkt = make_packet(PacketClass.RESPONSE, topo.bank_node(63), 0)
+        unrestricted.prepare(pkt)
+        nodes = unrestricted.route_nodes(pkt)
+        # X-Y-Z: all but the final hop stay in the cache layer.
+        assert all(topo.layer_of(n) == 1 for n in nodes[:-1])
+        assert nodes[-1] == 0
+        assert nodes[-2] == topo.bank_node(0)
+
+    def test_local_delivery(self, topo, unrestricted):
+        pkt = make_packet(PacketClass.REQUEST, 0, topo.bank_node(0))
+        unrestricted.prepare(pkt)
+        assert unrestricted.next_port(0, pkt) == DOWN
+        assert unrestricted.next_port(topo.bank_node(0), pkt) == LOCAL
+
+    def test_same_layer_memory_traffic_xy(self, topo, unrestricted):
+        pkt = make_packet(PacketClass.MEMORY, topo.bank_node(5),
+                          topo.bank_node(0))
+        unrestricted.prepare(pkt)
+        nodes = unrestricted.route_nodes(pkt)
+        assert all(topo.layer_of(n) == 1 for n in nodes)
+        assert len(nodes) - 1 == topo.manhattan(
+            topo.bank_node(5), topo.bank_node(0))
+
+
+class TestRestrictedRouting:
+    def test_request_passes_region_tsb(self, topo, restricted):
+        rm = restricted.region_map
+        # Paper Figure 5: requests for bank 89-64=25 serialise through
+        # core node 27 and descend at the region TSB.
+        bank = 89 - 64
+        pkt = make_packet(PacketClass.REQUEST, 7, topo.bank_node(bank))
+        restricted.prepare(pkt)
+        assert pkt.via == rm.request_via(bank) == 27
+        nodes = restricted.route_nodes(pkt)
+        assert 27 in nodes
+        assert 91 in nodes  # TSB landing node
+        # Descent happens exactly at the TSB column.
+        idx = nodes.index(27)
+        assert nodes[idx + 1] == 91
+
+    def test_all_requests_to_region_share_tsb(self, topo, restricted):
+        rm = restricted.region_map
+        bank = 10
+        via = rm.request_via(bank)
+        for core in (0, 7, 56, 63):
+            pkt = make_packet(
+                PacketClass.REQUEST, core, topo.bank_node(bank))
+            restricted.prepare(pkt)
+            nodes = restricted.route_nodes(pkt)
+            assert via in nodes
+
+    def test_responses_not_restricted(self, topo, restricted):
+        # Responses may ascend through any TSV (cache layer X-Y first).
+        pkt = make_packet(PacketClass.RESPONSE, topo.bank_node(30), 2)
+        restricted.prepare(pkt)
+        nodes = restricted.route_nodes(pkt)
+        assert nodes[-2] == topo.bank_node(2)
+        assert nodes[-1] == 2
+
+    def test_coherence_not_restricted(self, topo, restricted):
+        rm = restricted.region_map
+        pkt = make_packet(PacketClass.COHERENCE, 63, topo.bank_node(0))
+        restricted.prepare(pkt)
+        nodes = restricted.route_nodes(pkt)
+        # INV_ACKs descend at the destination column, not the TSB.
+        assert rm.request_via(0) not in nodes[:-2]
+
+    def test_route_nodes_does_not_consume_via(self, topo, restricted):
+        pkt = make_packet(PacketClass.REQUEST, 0, topo.bank_node(60))
+        restricted.prepare(pkt)
+        via = pkt.via
+        restricted.route_nodes(pkt)
+        assert pkt.via == via
+
+
+@given(
+    core=st.integers(0, 63),
+    bank=st.integers(0, 63),
+    klass=st.sampled_from([PacketClass.REQUEST, PacketClass.RESPONSE,
+                           PacketClass.COHERENCE, PacketClass.MEMORY]),
+    restricted_flag=st.booleans(),
+)
+def test_property_every_route_terminates(core, bank, klass,
+                                         restricted_flag):
+    topo = Mesh3D(8)
+    policy = RoutingPolicy(
+        topo, RegionMap(topo, 4) if restricted_flag else None)
+    if klass in (PacketClass.REQUEST,):
+        src, dst = core, topo.bank_node(bank)
+    elif klass is PacketClass.MEMORY:
+        src, dst = topo.bank_node(core), topo.bank_node(bank)
+    else:
+        src, dst = topo.bank_node(bank), core
+    if src == dst:
+        return
+    pkt = make_packet(klass, src, dst)
+    policy.prepare(pkt)
+    nodes = policy.route_nodes(pkt)
+    assert nodes[-1] == dst
+    assert len(nodes) <= 4 * topo.n_nodes

@@ -1,0 +1,66 @@
+"""Tests for the sweep grid and its JSON persistence."""
+
+import pytest
+
+from repro.sim.config import Scheme
+from repro.sim.sweep import SweepGrid, SweepResults, run_sweep
+
+FAST = {"mesh_width": 4, "capacity_scale": 1 / 64}
+SCHEMES = (Scheme.SRAM_64TSB, Scheme.STTRAM_4TSB_WB)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    grid = SweepGrid(apps=["x264", "hmmer"], schemes=SCHEMES,
+                     cycles=400, warmup=150, overrides=dict(FAST))
+    return run_sweep(grid)
+
+
+class TestRunSweep:
+    def test_covers_full_grid(self, sweep):
+        assert sweep.apps() == ["x264", "hmmer"]
+        assert sweep.schemes() == ["SRAM-64TSB", "MRAM-4TSB-WB"]
+
+    def test_metric_extraction(self, sweep):
+        it = sweep.metric("instruction_throughput")
+        for app in ("x264", "hmmer"):
+            for scheme in ("SRAM-64TSB", "MRAM-4TSB-WB"):
+                assert it[app][scheme] > 0
+
+    def test_normalisation(self, sweep):
+        norm = sweep.normalized("instruction_throughput",
+                                baseline="SRAM-64TSB")
+        for app in sweep.apps():
+            assert norm[app]["SRAM-64TSB"] == pytest.approx(1.0)
+
+    def test_missing_baseline_yields_zero(self, sweep):
+        norm = sweep.normalized("instruction_throughput",
+                                baseline="nonexistent")
+        assert all(v == 0.0
+                   for by_scheme in norm.values()
+                   for v in by_scheme.values())
+
+    def test_progress_callback(self):
+        seen = []
+        grid = SweepGrid(apps=["x264"], schemes=(Scheme.SRAM_64TSB,),
+                         cycles=200, warmup=50, overrides=dict(FAST))
+        run_sweep(grid, progress=lambda a, s: seen.append((a, s)))
+        assert seen == [("x264", Scheme.SRAM_64TSB)]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep.save(str(path))
+        loaded = SweepResults.load(str(path))
+        assert loaded.data == sweep.data
+        assert loaded.grid_spec["apps"] == ["x264", "hmmer"]
+        norm_a = sweep.normalized("avg_bank_queue_wait", "SRAM-64TSB")
+        norm_b = loaded.normalized("avg_bank_queue_wait", "SRAM-64TSB")
+        assert norm_a == norm_b
+
+    def test_grid_spec_records_overrides(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep.save(str(path))
+        loaded = SweepResults.load(str(path))
+        assert loaded.grid_spec["overrides"]["mesh_width"] == 4

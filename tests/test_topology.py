@@ -1,0 +1,145 @@
+"""Tests for repro.noc.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.noc.topology import (
+    DOWN, EAST, LOCAL, NORTH, N_PORTS, OPPOSITE, SOUTH, UP, WEST, Mesh3D,
+)
+
+
+class TestCoordinates:
+    def test_node_numbering_matches_paper_figure4(self):
+        topo = Mesh3D(8)
+        # Core layer 0..63, cache layer 64..127.
+        assert topo.coords(0) == (0, 0, 0)
+        assert topo.coords(63) == (0, 7, 7)
+        assert topo.coords(64) == (1, 0, 0)
+        assert topo.coords(127) == (1, 7, 7)
+        # Figure 4: cache node 91 sits at (3, 3) of the cache layer.
+        assert topo.coords(91) == (1, 3, 3)
+
+    def test_roundtrip(self):
+        topo = Mesh3D(4)
+        for node in range(topo.n_nodes):
+            layer, x, y = topo.coords(node)
+            assert topo.node_id(layer, x, y) == node
+
+    def test_bank_sits_below_core(self):
+        topo = Mesh3D(8)
+        for core in range(64):
+            assert topo.bank_node(core) == core + 64
+            assert topo.neighbor(topo.core_node(core), DOWN) \
+                == topo.bank_node(core)
+
+    def test_bank_of_node_inverse(self):
+        topo = Mesh3D(4)
+        for bank in range(16):
+            assert topo.bank_of_node(topo.bank_node(bank)) == bank
+
+    def test_bad_node_rejected(self):
+        topo = Mesh3D(4)
+        with pytest.raises(TopologyError):
+            topo.coords(topo.n_nodes)
+        with pytest.raises(TopologyError):
+            topo.coords(-1)
+
+    def test_bank_of_core_layer_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh3D(4).bank_of_node(3)
+
+
+class TestNeighbors:
+    def test_interior_node_has_all_mesh_neighbors(self):
+        topo = Mesh3D(4)
+        node = topo.node_id(0, 1, 1)
+        assert topo.neighbor(node, EAST) == topo.node_id(0, 2, 1)
+        assert topo.neighbor(node, WEST) == topo.node_id(0, 0, 1)
+        assert topo.neighbor(node, NORTH) == topo.node_id(0, 1, 2)
+        assert topo.neighbor(node, SOUTH) == topo.node_id(0, 1, 0)
+
+    def test_edges_return_none(self):
+        topo = Mesh3D(4)
+        origin = topo.node_id(0, 0, 0)
+        assert topo.neighbor(origin, WEST) is None
+        assert topo.neighbor(origin, SOUTH) is None
+        assert topo.neighbor(origin, UP) is None
+
+    def test_vertical_links(self):
+        topo = Mesh3D(4)
+        assert topo.neighbor(0, DOWN) == 16
+        assert topo.neighbor(16, UP) == 0
+        assert topo.neighbor(16, DOWN) is None
+
+    def test_local_port_has_no_neighbor(self):
+        assert Mesh3D(4).neighbor(5, LOCAL) is None
+
+    def test_opposite_ports(self):
+        assert OPPOSITE[EAST] == WEST
+        assert OPPOSITE[NORTH] == SOUTH
+        assert OPPOSITE[UP] == DOWN
+        assert len(OPPOSITE) == N_PORTS
+
+    def test_links_are_symmetric(self):
+        topo = Mesh3D(3)
+        links = set()
+        for src, port, dst in topo.links():
+            links.add((src, dst))
+            assert topo.neighbor(dst, OPPOSITE[port]) == src
+        for src, dst in links:
+            assert (dst, src) in links
+
+    def test_link_count(self):
+        # W*W mesh per layer: 2*W*(W-1) bidirectional mesh links per
+        # layer plus W*W vertical links; directed doubles everything.
+        topo = Mesh3D(4)
+        expected = 2 * (2 * 4 * 3 * 2) + 2 * 16
+        assert sum(1 for _ in topo.links()) == expected
+
+
+class TestPaths:
+    def test_manhattan_distance(self):
+        topo = Mesh3D(8)
+        assert topo.manhattan(0, 63) == 14
+        assert topo.manhattan(0, 64) == 1
+        assert topo.manhattan(91, 75) == 2  # Figure 5 parent/child pair
+
+    def test_xy_path_goes_x_first(self):
+        topo = Mesh3D(4)
+        path = topo.xy_path(topo.node_id(0, 0, 0), topo.node_id(0, 2, 2))
+        coords = [topo.coords(n) for n in path]
+        assert coords == [
+            (0, 0, 0), (0, 1, 0), (0, 2, 0), (0, 2, 1), (0, 2, 2),
+        ]
+
+    def test_xy_path_rejects_cross_layer(self):
+        topo = Mesh3D(4)
+        with pytest.raises(TopologyError):
+            topo.xy_path(0, topo.bank_node(0))
+
+    def test_corner_nodes(self):
+        topo = Mesh3D(8)
+        assert topo.corner_nodes(1) == [64, 71, 120, 127]
+
+
+@given(width=st.integers(2, 9), seed=st.integers(0, 10_000))
+def test_property_xy_path_length_matches_manhattan(width, seed):
+    topo = Mesh3D(width)
+    rng_src = seed % topo.nodes_per_layer
+    rng_dst = (seed * 7 + 3) % topo.nodes_per_layer
+    path = topo.xy_path(rng_src, rng_dst)
+    assert len(path) - 1 == topo.manhattan(rng_src, rng_dst)
+    # Each step is one hop between mesh neighbours.
+    for a, b in zip(path, path[1:]):
+        assert topo.manhattan(a, b) == 1
+
+
+@given(width=st.integers(2, 9))
+def test_property_every_node_reaches_every_port_consistently(width):
+    topo = Mesh3D(width)
+    for node in range(topo.n_nodes):
+        for port in (EAST, WEST, NORTH, SOUTH, UP, DOWN):
+            neighbor = topo.neighbor(node, port)
+            if neighbor is not None:
+                assert topo.neighbor(neighbor, OPPOSITE[port]) == node
