@@ -1,0 +1,57 @@
+"""Smoke test + regression gate for the scheduler perf harness.
+
+Run via ``python -m pytest benchmarks/perf`` (CI) or indirectly through
+``python -m repro.cli perf --smoke``.  Not part of tier-1 (which only
+collects ``tests/``): this test measures wall-clock throughput and so
+belongs with the benchmarks.
+
+The regression gate compares the freshly measured event/dense *speedup*
+against the committed ``BENCH_perf.json``: raw cycles/sec is
+machine-dependent, but the two schedulers run on the same machine in the
+same process, so their ratio transfers across hosts.  A >20% drop fails.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim.perf import (
+    TARGET_CONFIG, check_regression, run_perf_smoke,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+_BASELINE = os.path.join(_REPO_ROOT, "BENCH_perf.json")
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_perf_smoke()
+
+
+def test_smoke_runs_target_config(smoke_report):
+    assert list(smoke_report["configs"]) == [TARGET_CONFIG]
+
+
+def test_event_scheduler_matches_dense(smoke_report):
+    # run_perf raises on any SimulationResult drift; the flag records
+    # that the comparison actually happened.
+    row = smoke_report["configs"][TARGET_CONFIG]
+    assert row["identical_results"] is True
+
+
+def test_event_scheduler_is_faster(smoke_report):
+    row = smoke_report["configs"][TARGET_CONFIG]
+    assert row["speedup"] > 1.0, (
+        f"event scheduler slower than dense: {row['speedup']:.2f}x"
+    )
+
+
+def test_no_regression_vs_committed_baseline(smoke_report):
+    if not os.path.exists(_BASELINE):
+        pytest.skip("no committed BENCH_perf.json baseline")
+    with open(_BASELINE) as fh:
+        baseline = json.load(fh)
+    failures = check_regression(smoke_report, baseline, tolerance=0.2)
+    assert not failures, "; ".join(failures)

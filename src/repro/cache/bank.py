@@ -27,6 +27,7 @@ from repro.cache.messages import (
 from repro.cache.mshr import MSHRFile
 from repro.cache.write_buffer import WriteBuffer
 from repro.noc.packet import Packet, PacketClass
+from repro.noc.router import NEVER
 from repro.sim.config import SystemConfig
 
 #: send(klass, dst_node, flits, is_write, bank, payload) -> None
@@ -421,6 +422,21 @@ class BankController:
         return
 
     # ------------------------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle ``step`` could do anything, barring new
+        packet arrivals (which re-activate the bank via its sink).  Used
+        by the event-driven scheduler's cycle-skip fast path."""
+        if self.busy_until > now:
+            return self.busy_until
+        if self._current_op is not None or self.queue:
+            return now + 1
+        if (
+            self.write_buffer is not None
+            and self.write_buffer.pending_drains() > 0
+        ):
+            return now + 1
+        return NEVER
 
     def idle(self, now: int) -> bool:
         busy = self.busy_until > now or self._current_op is not None

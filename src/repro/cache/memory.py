@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.cache.messages import MemMsg
 from repro.noc.packet import Packet, PacketClass
+from repro.noc.router import NEVER
 from repro.sim.config import SystemConfig
 
 ResponseSender = Callable[[MemMsg, int], None]
@@ -72,6 +73,19 @@ class MemoryController:
                 self.send_response(msg, now)
 
     # ------------------------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle ``step`` could make progress, barring
+        new request arrivals (which re-activate the controller)."""
+        nxt = NEVER
+        if self._pending:
+            t = self._pending[0][0]
+            nxt = t if t > now else now + 1
+        if self._waiting and len(self._pending) < self.max_outstanding:
+            t = self._next_issue if self._next_issue > now else now + 1
+            if t < nxt:
+                nxt = t
+        return nxt
 
     def outstanding(self) -> int:
         return len(self._pending) + len(self._waiting)

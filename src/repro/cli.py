@@ -6,6 +6,7 @@ Subcommands::
     python -m repro compare --app tpcc --mesh-width 8
     python -m repro table3
     python -m repro fig3 --app tpcc
+    python -m repro perf --out BENCH_perf.json
     python -m repro list
 
 All experiment subcommands accept ``--mesh-width``, ``--capacity-scale``,
@@ -29,6 +30,13 @@ from repro.workloads.benchmarks import (
 )
 
 _SCHEME_BY_NAME = {s.value: s for s in ALL_SCHEMES}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print an app's Figure 3 histogram")
     fig3_p.add_argument("--app", required=True)
     _add_common(fig3_p)
+
+    perf_p = sub.add_parser(
+        "perf", help="benchmark the simulator itself (dense vs event)")
+    perf_p.add_argument("--smoke", action="store_true",
+                        help="quick CI variant: target config only")
+    perf_p.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report (e.g. BENCH_perf.json)")
+    perf_p.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed BENCH_perf.json to gate against "
+                             "(fails on >20%% speedup regression)")
+    perf_p.add_argument("--cycles", type=int, default=None)
+    perf_p.add_argument("--warmup", type=int, default=None)
+    perf_p.add_argument("--repeats", type=_positive_int, default=None)
+    perf_p.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("list", help="list benchmarks and schemes")
     return parser
@@ -136,6 +158,40 @@ def _cmd_fig3(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.sim import perf as perf_mod
+
+    kwargs = dict(seed=args.seed)
+    if args.smoke:
+        # Same window as the full run (speedups stay comparable with
+        # the committed baseline), but one config and fewer repeats.
+        kwargs.update(repeats=2, labels=(perf_mod.TARGET_CONFIG,))
+    for name in ("cycles", "warmup", "repeats"):
+        value = getattr(args, name)
+        if value is not None:
+            kwargs[name] = value
+    report = perf_mod.run_perf(**kwargs)
+    print(perf_mod.format_report(report))
+    if args.out:
+        perf_mod.write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures = perf_mod.check_regression(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no perf regression vs {args.baseline}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("schemes:")
     for scheme in ALL_SCHEMES:
@@ -153,6 +209,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "table3": _cmd_table3,
     "fig3": _cmd_fig3,
+    "perf": _cmd_perf,
     "list": _cmd_list,
 }
 

@@ -15,6 +15,7 @@ from repro.core.busy import BankBusyTracker
 from repro.core.estimators import CongestionEstimator
 from repro.core.regions import RegionMap
 from repro.noc.packet import Packet, PacketClass
+from repro.noc.router import NEVER
 from repro.sim.config import SystemConfig
 
 # An arbitration entry as kept by the router output queues:
@@ -50,6 +51,12 @@ class RoundRobinArbiter:
         if not entries:
             return None
         key = (node, out_port)
+        if len(entries) == 1:
+            # Sole candidate: skip the sort, advance the pointer exactly
+            # as the general path would.
+            e = entries[0]
+            self._pointers[key] = (e[0] * 64 + e[1] + 1) % 4096
+            return 0
         pointer = self._pointers.get(key, 0)
         # Rotate over (in_port, vc) identities for classic RR fairness.
         order = sorted(
@@ -62,6 +69,20 @@ class RoundRobinArbiter:
             entries[winner][0] * 64 + entries[winner][1] + 1
         ) % 4096
         return winner
+
+    # -- event-driven scheduling hooks ---------------------------------
+
+    def release_hint(self, node: int, out_port: int, entries: List[list],
+                     now: int) -> int:
+        """Earliest cycle a ``choose`` that returned None could pick a
+        winner, assuming no further activity at the router.  RR never
+        returns None for a non-empty pool, so the conservative bound is
+        the next cycle."""
+        return now + 1
+
+    def accrue_parked(self, entries, cycles: int) -> None:
+        """Book ``cycles`` of per-cycle delay accrual for entries parked
+        while their router slept (no-op for plain round-robin)."""
 
 
 class BankAwareArbiter(RoundRobinArbiter):
@@ -188,3 +209,47 @@ class BankAwareArbiter(RoundRobinArbiter):
             return (boost, pkt.inject_cycle, entries[i][ENTRY_ARRIVAL])
 
         return min(eligible, key=rank)
+
+    # -- event-driven scheduling hooks ---------------------------------
+
+    def release_hint(self, node: int, out_port: int, entries: List[list],
+                     now: int) -> int:
+        """Earliest cycle one of these all-delayed candidates becomes
+        eligible, barring new activity at the router.
+
+        Each candidate is released at the earlier of its starvation-valve
+        expiry (``arrival + max_delay``) and the first cycle the bank
+        busy prediction clears (``free_at - travel - estimate``).  Both
+        only move *earlier* through events that poke the router (a WB
+        ack, a new charge happens on a scan), so the minimum is a safe
+        wake bound -- but only while the congestion estimates themselves
+        are event-stable; RCA drifts on its own clock, so fall back to
+        dense re-scanning under it.
+        """
+        if not self.estimator.estimates_stable:
+            return now + 1
+        tracker = self.tracker
+        estimator = self.estimator
+        distance = self.region_map.expected_child_distance
+        best = NEVER
+        for entry in entries:
+            pkt = entry[ENTRY_PKT]
+            t = entry[ENTRY_ARRIVAL] + self.max_delay
+            est = estimator.congestion_estimate(node, pkt.bank, now)
+            t2 = (tracker.predicted_free_at(pkt.bank)
+                  - tracker.travel_cycles(distance(pkt.bank)) - est)
+            if t2 < t:
+                t = t2
+            if t < best:
+                best = t
+        return best if best > now else now + 1
+
+    def accrue_parked(self, entries, cycles: int) -> None:
+        """Replay the per-cycle delay accrual the dense loop performs for
+        candidates that stayed parked while their router slept."""
+        n = len(entries) * cycles
+        for entry in entries:
+            entry[ENTRY_PKT].delayed_cycles += cycles
+        self.delay_cycles += n
+        self.packets_delayed += n
+        self.tracker.delays_predicted += n

@@ -25,6 +25,18 @@ class CongestionEstimator:
 
     name = "none"
 
+    #: Cycle period at which :meth:`tick` must be invoked, or ``None``
+    #: when the estimator needs no per-cycle updates at all (the network
+    #: then never calls ``tick`` and the event-driven scheduler does not
+    #: wake for it).
+    tick_period = None
+
+    #: True when ``congestion_estimate`` can only change at observable
+    #: events (packet forwards/acks), so the event-driven arbiter may
+    #: cache busy-bank release times between events.  Estimators whose
+    #: estimates drift on their own clock (RCA) must set this False.
+    estimates_stable = True
+
     def bind(self, network) -> None:
         """Give the estimator access to live network state."""
         self.network = network
@@ -67,9 +79,11 @@ class RegionalCongestionEstimator(CongestionEstimator):
     """
 
     name = "rca"
+    estimates_stable = False
 
     def __init__(self, config: SystemConfig):
         self.update_period = max(1, config.rca_update_period)
+        self.tick_period = self.update_period
         self.max_value = 255  # 8-bit side-band wires
         self.local: Dict[int, float] = {}
         self.agg: Dict[int, float] = {}
@@ -175,6 +189,10 @@ class WindowEstimator(CongestionEstimator):
         estimate = max(0, elapsed // 2 - base_one_way)
         self._estimates[(parent_node, bank)] = estimate
         self.acks_received += 1
+        # A changed estimate can make a parked request eligible earlier
+        # than the parent router's cached wake hint assumed; wake it.
+        if self.network is not None:
+            self.network.poke_router(parent_node, now + 1)
 
     def congestion_estimate(self, parent_node: int, bank: int,
                             now: int) -> int:

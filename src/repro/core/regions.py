@@ -87,6 +87,8 @@ class RegionMap:
         self.n_regions = n_regions
         self.placement = placement
         self.hop_distance = hop_distance
+        #: bank -> parent-to-bank hop distance (arbitration hot path)
+        self._child_distance: dict = {}
 
         width = topo.width
         cols, rows = _region_grid(n_regions, width)
@@ -186,9 +188,17 @@ class RegionMap:
         return node in self.children_of
 
     def expected_child_distance(self, bank: int) -> int:
-        """Hop distance from a bank's parent to the bank itself."""
-        parent = self.parent_of_bank[bank]
-        return self.topo.manhattan(parent, self.topo.bank_node(bank))
+        """Hop distance from a bank's parent to the bank itself.
+
+        Memoised: this sits on the arbitration hot path (one call per
+        managed candidate per scan).
+        """
+        cached = self._child_distance.get(bank)
+        if cached is None:
+            parent = self.parent_of_bank[bank]
+            cached = self.topo.manhattan(parent, self.topo.bank_node(bank))
+            self._child_distance[bank] = cached
+        return cached
 
 
 def build_region_map(config: SystemConfig,

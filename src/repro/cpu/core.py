@@ -23,6 +23,15 @@ from repro.sim.config import SystemConfig
 
 SendFn = Callable[..., None]
 
+#: Statuses returned by :meth:`Core.step`, used by the event-driven
+#: scheduler to deregister cores whose following cycles are provably
+#: pure counter bumps (see CMPSimulator's cycle-skip fast path).
+CORE_RUN = 0           # did real work; must step next cycle
+CORE_GAP = 1           # committed a full width of gap instructions
+CORE_STALL_WINDOW = 2  # instruction window blocked on a load
+CORE_STALL_NI = 3      # NI source queue full
+CORE_STALL_MSHR = 4    # MSHR file full
+
 
 class CoreStats:
     """Per-core instrumentation."""
@@ -115,11 +124,23 @@ class Core:
 
     # ------------------------------------------------------------------
 
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
+        """Advance one cycle; return a ``CORE_*`` scheduling status.
+
+        The status classifies what the *next* cycles would do if nothing
+        external changes: pure stalls and pure gap-commits are
+        replayable in bulk by :meth:`accrue_skipped` /
+        :meth:`run_gap_cycles`, so the scheduler may put the core to
+        sleep until a wake event (packet delivery, NI drain, gap/window
+        boundary).
+        """
         if self._window_blocked():
             self.stats.stall_cycles += 1
-            return
+            return CORE_STALL_WINDOW
         mem_op_done = False
+        attempted = False
+        stall = CORE_RUN
+        committed_before = self.stats.committed
         for _slot in range(self.config.commit_width):
             if self._gap_remaining > 0:
                 self._gap_remaining -= 1
@@ -127,11 +148,44 @@ class Core:
                 continue
             if mem_op_done:
                 break  # only one memory operation per cycle (Table 1)
+            attempted = True
             if not self._issue_mem_op(now):
-                break  # MSHRs full: retry next cycle
+                stall = self._last_stall
+                break  # NI / MSHRs full: retry next cycle
             mem_op_done = True
             if self._window_blocked():
                 break
+        if not attempted:
+            return CORE_GAP
+        if stall != CORE_RUN and self.stats.committed == committed_before:
+            # Nothing committed and the first slot stalled: identical
+            # cycles follow until the stall's wake event.
+            return stall
+        return CORE_RUN
+
+    def pure_gap_cycles(self) -> int:
+        """Upper bound on immediately-following cycles whose only effect
+        is committing ``commit_width`` gap instructions each.
+
+        The bound is limited by the remaining gap and by the first cycle
+        an outstanding blocking load would trip the retirement window at
+        cycle entry; within that horizon the scheduler may replay the
+        cycles in bulk (``committed += k * width``) without stepping.
+        """
+        w = self.config.commit_width
+        j = self._gap_remaining // w
+        if j and self._blocking_loads:
+            lim = min(
+                issued + window
+                for issued, window in self._blocking_loads.values()
+            )
+            d = lim - self.stats.committed
+            if d <= 0:
+                return 0
+            m = (d + w - 1) // w
+            if m < j:
+                j = m
+        return j
 
     def _issue_mem_op(self, now: int) -> bool:
         block = self._pending_block
@@ -148,6 +202,7 @@ class Core:
             # NI source queue / store buffer full: stall the stream.
             self.stats.ni_stall_cycles += 1
             self.l1.misses -= 1  # the retried lookup re-counts the miss
+            self._last_stall = CORE_STALL_NI
             return False
         if is_store:
             # Store miss: write the line through to the home L2 bank
@@ -167,7 +222,7 @@ class Core:
         if outcome is None:
             self.stats.mshr_stall_cycles += 1
             self.l1.misses -= 1  # retried access: count the miss once
-            self.stats.l1_hits -= 0
+            self._last_stall = CORE_STALL_MSHR
             return False
         self.stats.l1_misses += 1
         self.stats.mem_ops += 1

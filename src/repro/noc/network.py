@@ -6,10 +6,33 @@ The network advances one cycle at a time.  Each cycle it:
 2. lets every router with buffered packets arbitrate each idle output
    port among ready candidates (policy-pluggable: round-robin or the
    paper's bank-aware arbiter) and forward the winner, and
-3. ticks the congestion estimator (RCA propagation).
+3. ticks the congestion estimator on its own period (RCA propagation).
 
 Endpoints register *sinks*: callables invoked when a packet is ejected at
 its destination node.
+
+Active-set scheduling
+---------------------
+``step`` normally runs the *active-set* route cycle: only routers in
+``_active_routers`` (maintained incrementally by injection/forwarding)
+whose ``next_active`` wake hint has come due are scanned, port by port
+in dense order.  Each scan recomputes the router's wake hint as a
+*lower bound* on the next cycle anything at the router could move --
+output-link busy expiry, earliest ``ready_at`` among parked entries,
+earliest downstream VC drain, or the bank-aware arbiter's release hint.
+Lower bounds are safe: a spurious early scan is a no-op, and every state
+change that could enable earlier progress (a new entry arriving, an
+upstream VC freeing, a WB estimate update) pokes the hint back down.
+
+Cycles delayed-by-arbiter packets spend parked while their router sleeps
+are booked in ``_parked`` and flushed into the arbiter's per-cycle
+accrual (``accrue_parked``) on the next scan, keeping
+``delayed_cycle_sum`` bit-identical to the dense reference loop, which
+is preserved as ``_route_cycle_reference`` (``use_reference_loop``).
+
+``next_event_cycle`` folds the router hints, source-NI heads and the
+estimator tick period into one lower bound the simulator uses for its
+cycle-skip fast path.
 """
 
 from __future__ import annotations
@@ -20,7 +43,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.combining import FlitCombiner
 from repro.errors import RoutingError
 from repro.noc.packet import Packet
-from repro.noc.router import Router
+from repro.noc.router import NEVER, Router
 from repro.noc.routing import RoutingPolicy
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import DOWN, LOCAL, N_PORTS, OPPOSITE, Mesh3D
@@ -82,6 +105,24 @@ class Network:
             arbiter.bind(self)
 
         self._nonempty_sources = set()
+        #: routers currently holding at least one resident packet
+        self._active_routers = set()
+        #: (node, out_port) -> (last scan cycle, parked delayed entries);
+        #: cycles elapsed between scans are flushed into the arbiter's
+        #: per-cycle delay accrual on the next scan of that port.
+        self._parked: Dict[tuple, tuple] = {}
+        #: use the dense every-router/every-port reference loop instead of
+        #: the active-set loop (kept for equivalence testing and as the
+        #: perf baseline).
+        self.use_reference_loop = False
+        #: invoked with the node id whenever a source NI queue pops at
+        #: least one packet (NI-stalled cores re-register on this).
+        self.on_source_drain: Optional[Callable[[int, int], None]] = None
+        # `tick_period is None` => the estimator never needs ticking.
+        if estimator is None:
+            self._tick_period = None
+        else:
+            self._tick_period = getattr(estimator, "tick_period", 1)
 
     # ------------------------------------------------------------------
     # Endpoint API
@@ -115,15 +156,20 @@ class Network:
 
     def step(self, now: int) -> None:
         self._inject_sources(now)
-        self._route_cycle(now)
-        if self.estimator is not None:
+        if self.use_reference_loop:
+            self._route_cycle_reference(now)
+        else:
+            self._route_cycle(now)
+        if self._tick_period is not None and now % self._tick_period == 0:
             self.estimator.tick(now)
 
     def _inject_sources(self, now: int) -> None:
         done = []
+        drained = self.on_source_drain
         for node in self._nonempty_sources:
             queue = self.source_queues[node]
             router = self.routers[node]
+            popped = False
             while queue:
                 vc = router.free_vc(LOCAL, now)
                 if vc < 0:
@@ -132,15 +178,124 @@ class Network:
                 if pkt.ready_at > now:
                     break
                 queue.popleft()
+                popped = True
                 pkt.network_cycle = now
                 out_port = self.routing.next_port(node, pkt)
                 router.accept(LOCAL, vc, pkt, out_port, now)
+            if popped:
+                self._active_routers.add(node)
+                if drained is not None:
+                    drained(node, now)
             if not queue:
                 done.append(node)
         for node in done:
             self._nonempty_sources.discard(node)
 
     def _route_cycle(self, now: int) -> None:
+        """Active-set route cycle: scan only due routers/occupied ports.
+
+        Scans the same (router, port) pairs the dense reference loop
+        would act on, in the same order, so every arbitration decision
+        and its side effects are identical; all other pairs are provably
+        no-ops until the recorded wake hints come due.
+        """
+        active = self._active_routers
+        if not active:
+            return
+        arbiter = self.arbiter
+        routers = self.routers
+        neighbor_node = self.neighbor_node
+        flow_control = self.flow_control
+        parked_map = self._parked
+        for node in sorted(active):
+            router = routers[node]
+            if router.next_active > now or router.n_resident == 0:
+                continue
+            out_entries = router.out_entries
+            out_busy_until = router.out_busy_until
+            wake = NEVER
+            forwarded = False
+            for out_port in range(N_PORTS):
+                entries = out_entries[out_port]
+                if not entries:
+                    continue
+                busy = out_busy_until[out_port]
+                if busy > now:
+                    if busy < wake:
+                        wake = busy
+                    continue
+                if out_port == LOCAL:
+                    downstream = None
+                else:
+                    down_node = neighbor_node[node][out_port]
+                    if down_node is None:  # pragma: no cover
+                        raise RoutingError(
+                            f"packet routed off-mesh at node {node}"
+                        )
+                    downstream = routers[down_node]
+                    vc_at = downstream.next_free_vc_at(
+                        OPPOSITE[out_port], now)
+                    if vc_at > now:
+                        if vc_at < wake:
+                            wake = vc_at
+                        continue
+                candidates = []
+                min_ready = NEVER
+                blocked = False
+                if out_port == LOCAL:
+                    accept = flow_control.get(node)
+                    for e in entries:
+                        ra = e[2].ready_at
+                        if ra <= now:
+                            if accept is None or accept(e[2]):
+                                candidates.append(e)
+                            else:
+                                blocked = True
+                        elif ra < min_ready:
+                            min_ready = ra
+                else:
+                    for e in entries:
+                        ra = e[2].ready_at
+                        if ra <= now:
+                            candidates.append(e)
+                        elif ra < min_ready:
+                            min_ready = ra
+                parked = parked_map.pop((node, out_port), None)
+                if parked is not None:
+                    gap = now - parked[0] - 1
+                    if gap > 0:
+                        arbiter.accrue_parked(parked[1], gap)
+                if not candidates:
+                    # A flow-control refusal has no timer: the sink's
+                    # predicate may open at any cycle, so re-arm densely.
+                    if blocked:
+                        wake = now + 1
+                    elif min_ready < wake:
+                        wake = min_ready
+                    continue
+                winner = arbiter.choose(node, out_port, candidates, now)
+                if winner is None:
+                    # Every candidate heads to a predicted-busy bank: park
+                    # them and sleep until the arbiter's release bound.
+                    parked_map[(node, out_port)] = (now, tuple(candidates))
+                    hint = arbiter.release_hint(
+                        node, out_port, candidates, now)
+                    if hint < wake:
+                        wake = hint
+                    if min_ready < wake:
+                        wake = min_ready
+                    continue
+                self._forward(
+                    router, downstream, out_port, candidates[winner], now)
+                forwarded = True
+            router.next_active = now + 1 if forwarded else wake
+
+    def _route_cycle_reference(self, now: int) -> None:
+        """Dense reference loop: poll every router and port each cycle.
+
+        Behaviourally authoritative; the active-set loop must match it
+        bit for bit (see tests/test_scheduler_equivalence.py).
+        """
         arbiter = self.arbiter
         for router in self.routers:
             if router.n_resident == 0:
@@ -181,10 +336,19 @@ class Network:
     def _forward(self, router: Router, downstream: Optional[Router],
                  out_port: int, entry: list, now: int) -> None:
         pkt = entry[2]
-        entries = router.out_entries[out_port]
-        entries.remove(entry)
-        router.release(entry, now)
+        router.remove_entry(out_port, entry, now)
         node = router.node
+
+        # The freed input VC may unblock the upstream router that feeds
+        # this input port; wake it when the tail has drained.
+        in_port = entry[0]
+        if in_port != LOCAL:
+            up_node = self.neighbor_node[node][in_port]
+            if up_node is not None:
+                up = self.routers[up_node]
+                t = now + pkt.flits
+                if t < up.next_active:
+                    up.next_active = t
 
         combiner = self._combiners.get((node, out_port))
         if combiner is not None:
@@ -195,6 +359,8 @@ class Network:
         router.out_busy_until[out_port] = now + serialization
 
         if out_port == LOCAL:
+            if router.n_resident == 0:
+                self._active_routers.discard(node)
             self.stats.on_deliver(pkt, now)
             sink = self.sinks.get(node)
             if sink is not None:
@@ -206,10 +372,72 @@ class Network:
         pkt.hops += 1
         pkt.ready_at = now + self.hop_cycles
         down_node = downstream.node
-        in_port = OPPOSITE[out_port]
-        vc = downstream.free_vc(in_port, now)
+        in_p = OPPOSITE[out_port]
+        vc = downstream.free_vc(in_p, now)
         next_out = self.routing.next_port(down_node, pkt)
-        downstream.accept(in_port, vc, pkt, next_out, pkt.ready_at)
+        downstream.accept(in_p, vc, pkt, next_out, pkt.ready_at)
+        # The accept consumed a downstream VC, which can flip the
+        # bank-aware arbiter's VC-pressure release.  The dense loop sees
+        # that this very cycle when the downstream router is scanned
+        # after this one (higher node id), else the next cycle.
+        t = now if down_node > node else now + 1
+        if t < downstream.next_active:
+            downstream.next_active = t
+        self._active_routers.add(down_node)
+        if router.n_resident == 0:
+            self._active_routers.discard(node)
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling support
+    # ------------------------------------------------------------------
+
+    def poke_router(self, node: int, cycle: int) -> None:
+        """Lower a router's wake hint (estimate changes, bank dequeues)."""
+        router = self.routers[node]
+        if cycle < router.next_active:
+            router.next_active = cycle
+
+    def next_event_cycle(self, now: int) -> int:
+        """Lower bound (> ``now``) on the next cycle the network can act.
+
+        :data:`repro.noc.router.NEVER` when nothing is pending.
+        """
+        nxt = NEVER
+        period = self._tick_period
+        if period is not None:
+            nxt = now + period - now % period
+        routers = self.routers
+        for node in self._active_routers:
+            t = routers[node].next_active
+            if t < nxt:
+                nxt = t
+        for node in self._nonempty_sources:
+            queue = self.source_queues[node]
+            if not queue:
+                continue
+            t = queue[0].ready_at
+            v = routers[node].next_free_vc_at(LOCAL, now)
+            if v > t:
+                t = v
+            if t < nxt:
+                nxt = t
+        if nxt <= now:
+            return now + 1
+        return nxt
+
+    def flush_parked(self, now: int) -> None:
+        """Accrue pending parked-delay cycles up to (excluding) ``now``.
+
+        Called at measurement/run boundaries so the delay accrual of
+        still-parked packets matches the dense loop through cycle
+        ``now - 1`` even though their routers are asleep.
+        """
+        arbiter = self.arbiter
+        for key, (since, entries) in list(self._parked.items()):
+            gap = now - since - 1
+            if gap > 0:
+                arbiter.accrue_parked(entries, gap)
+                self._parked[key] = (now - 1, entries)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,9 +445,13 @@ class Network:
 
     def quiesced(self) -> bool:
         """True when no packets remain anywhere in the network."""
-        if any(self.source_queues[n] for n in range(self.topo.n_nodes)):
+        if self._nonempty_sources:
             return False
-        return all(r.n_resident == 0 for r in self.routers)
+        if not self._active_routers:
+            return True
+        return all(
+            self.routers[n].n_resident == 0 for n in self._active_routers
+        )
 
     def total_resident(self) -> int:
         return sum(r.n_resident for r in self.routers)

@@ -10,6 +10,15 @@ Routing decisions are made once, when a packet arrives at the router, and
 the packet is then parked in a per-output-port candidate queue; this is
 equivalent to (and much faster than) re-running route computation every
 cycle for every buffered flit.
+
+For the event-driven scheduler the router additionally maintains an
+*active output-port set* (ports that hold at least one parked entry,
+kept incrementally by :meth:`accept`/:meth:`remove_entry`) and a
+``next_active`` wake hint: a lower bound on the next cycle at which any
+entry at this router could possibly move.  The network may skip the
+router entirely until that cycle; any state change that could enable
+earlier progress (a new entry arriving, an upstream VC freeing) lowers
+the hint again.
 """
 
 from __future__ import annotations
@@ -19,13 +28,16 @@ from typing import List, Optional
 from repro.noc.packet import Packet
 from repro.noc.topology import LOCAL, N_PORTS
 
+#: Sentinel "never" wake cycle for the event-driven scheduler.
+NEVER = 1 << 60
+
 
 class Router:
     """One 7-port (4 cardinal + up/down + local) mesh router."""
 
     __slots__ = (
         "node", "n_vcs", "vcs", "vc_free_at", "out_busy_until",
-        "out_entries", "n_resident",
+        "out_entries", "n_resident", "next_active",
     )
 
     def __init__(self, node: int, n_vcs: int):
@@ -43,6 +55,8 @@ class Router:
         #: out_entries[port] -> list of [in_port, vc, pkt, arrival_cycle]
         self.out_entries: List[List[list]] = [[] for _ in range(N_PORTS)]
         self.n_resident = 0
+        #: earliest cycle any entry here could possibly move (lower bound)
+        self.next_active = 0
 
     # ------------------------------------------------------------------
 
@@ -63,6 +77,26 @@ class Router:
             if vcs[v] is None and free_at[v] <= now
         )
 
+    def next_free_vc_at(self, port: int, now: int) -> int:
+        """Earliest cycle a VC at ``port`` becomes allocatable.
+
+        Returns ``now`` if one is free already, the earliest tail-drain
+        completion among unoccupied VCs otherwise, and :data:`NEVER`
+        when every VC still holds a resident packet (a release -- an
+        *activity* at this router -- is needed first).
+        """
+        vcs = self.vcs[port]
+        free_at = self.vc_free_at[port]
+        best = NEVER
+        for v in range(self.n_vcs):
+            if vcs[v] is None:
+                t = free_at[v]
+                if t <= now:
+                    return now
+                if t < best:
+                    best = t
+        return best
+
     def accept(self, port: int, vc: int, pkt: Packet, out_port: int,
                arrival: int) -> None:
         """Reserve an input VC for an incoming packet and park it on its
@@ -70,6 +104,14 @@ class Router:
         self.vcs[port][vc] = pkt
         self.out_entries[out_port].append([port, vc, pkt, arrival])
         self.n_resident += 1
+        if arrival < self.next_active:
+            self.next_active = arrival
+
+    def remove_entry(self, out_port: int, entry: list, now: int) -> None:
+        """Unpark a forwarded entry and free its input VC."""
+        entries = self.out_entries[out_port]
+        entries.remove(entry)
+        self.release(entry, now)
 
     def release(self, entry: list, now: int) -> None:
         """Free the input VC after the packet's tail has drained."""

@@ -40,6 +40,10 @@ class RoutingPolicy:
     def __init__(self, topo: Mesh3D, region_map=None):
         self.topo = topo
         self.region_map = region_map
+        #: (node, dst, via) -> (out_port, via_after): route decisions are
+        #: pure in these three values, so the hot per-hop computation is
+        #: memoised across packets.
+        self._port_memo: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -80,23 +84,33 @@ class RoutingPolicy:
 
         Consumes the ``via`` waypoint when the packet reaches it.
         """
-        if node == pkt.dst:
-            return LOCAL
+        key = (node, pkt.dst, pkt.via)
+        hit = self._port_memo.get(key)
+        if hit is None:
+            hit = self._compute_port(node, pkt.dst, pkt.via)
+            self._port_memo[key] = hit
+        pkt.via = hit[1]
+        return hit[0]
+
+    def _compute_port(self, node: int, dst: int, via):
+        """Uncached (out_port, via_after) for one routing step."""
+        if node == dst:
+            return (LOCAL, via)
         layer, x, y = self.topo.coords(node)
-        if pkt.via is not None:
-            if node == pkt.via:
-                pkt.via = None
+        if via is not None:
+            if node == via:
+                via = None
             else:
-                vlayer, vx, vy = self.topo.coords(pkt.via)
+                vlayer, vx, vy = self.topo.coords(via)
                 if vlayer != layer:
                     raise RoutingError(
-                        f"waypoint {pkt.via} is not in layer {layer}"
+                        f"waypoint {via} is not in layer {layer}"
                     )
-                return self._xy_port(x, y, vx, vy)
-        dlayer, dx, dy = self.topo.coords(pkt.dst)
+                return (self._xy_port(x, y, vx, vy), via)
+        dlayer, dx, dy = self.topo.coords(dst)
         if layer != dlayer:
-            return DOWN if dlayer > layer else UP
-        return self._xy_port(x, y, dx, dy)
+            return (DOWN if dlayer > layer else UP, via)
+        return (self._xy_port(x, y, dx, dy), via)
 
     # ------------------------------------------------------------------
 

@@ -20,6 +20,10 @@ class NetworkStats:
         self.tsb_combined_flit_pairs = 0
         self.delayed_cycle_sum = 0
         self.max_latency = 0
+        #: latency value -> number of delivered packets with that latency
+        #: (the scheduler-equivalence tests compare these distributions,
+        #: which catch per-packet drift that aggregate means average out)
+        self.latency_hist: Dict[int, int] = {}
 
     def on_inject(self, pkt: Packet, now: int) -> None:
         self.injected[pkt.klass] += 1
@@ -34,6 +38,8 @@ class NetworkStats:
         self.latency_sum[pkt.klass] += latency
         self.hop_sum += pkt.hops
         self.delayed_cycle_sum += pkt.delayed_cycles
+        hist = self.latency_hist
+        hist[latency] = hist.get(latency, 0) + 1
         if latency > self.max_latency:
             self.max_latency = latency
 
@@ -75,4 +81,5 @@ class NetworkStats:
             "combined_flit_pairs": self.tsb_combined_flit_pairs,
             "delayed_cycle_sum": self.delayed_cycle_sum,
             "max_latency": self.max_latency,
+            "latency_hist": dict(self.latency_hist),
         }

@@ -16,6 +16,23 @@ from repro.sim.results import SimulationResult
 from repro.sim.simulator import CMPSimulator
 from repro.sim.sweep import SweepGrid, SweepResults, run_sweep
 
+
+def reset_state() -> None:
+    """Reset module-global simulation state between independent runs.
+
+    The simulator keeps almost all state per-instance; the one
+    process-wide global is the monotonically increasing packet-id
+    counter (``repro.noc.packet``), which makes packet ids depend on
+    every simulation constructed earlier in the process.  Benchmarks
+    and reproducibility-sensitive harnesses (``benchmarks/conftest.py``,
+    ``repro.sim.perf``) call this before each run so seeded simulations
+    are bit-identical no matter what ran before them.
+    """
+    from repro.noc.packet import reset_packet_ids
+
+    reset_packet_ids()
+
+
 __all__ = [
     "SystemConfig", "Scheme", "ALL_SCHEMES", "CacheTechnology",
     "Estimator", "TSBPlacement", "WriteBufferConfig", "make_config",
@@ -24,4 +41,5 @@ __all__ = [
     "run_scheme", "run_workload", "app_factory",
     "instruction_throughput", "weighted_speedup", "max_slowdown",
     "slowdowns", "SweepGrid", "SweepResults", "run_sweep",
+    "reset_state",
 ]

@@ -1,0 +1,262 @@
+"""Performance benchmark harness for the simulator itself.
+
+Measures host-side simulation throughput (simulated cycles/sec and
+delivered packets/sec) of the dense reference scheduler against the
+event-driven active-set scheduler on canonical configurations, and
+asserts that both produce bit-identical :class:`SimulationResult`
+metrics on seeded workloads.
+
+The workload is a *phased write-burst storm*: each core alternates
+Figure-3-style bursts of (mostly store) accesses aimed at one L2 bank
+with long compute phases, staggered across cores.  This is the regime
+the event scheduler targets -- banks sit in multi-ten-cycle STT-RAM
+writes, stalled or computing cores deregister themselves, and quiescent
+stretches between bursts are skipped outright -- while still exercising
+the bank-aware arbitration, WB estimator tagging/acks and region-TSB
+serialisation on the STT-RAM configurations.
+
+Run via ``python -m repro.cli perf`` (``--smoke`` for the quick CI
+variant); results are written to ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.trace import AccessStream, bank_block
+from repro.sim.config import (
+    Scheme, SystemConfig, TSBPlacement, make_config,
+)
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.mixes import Workload
+
+#: Benchmark configurations: label -> (scheme, config overrides).
+PERF_CONFIGS: Tuple[Tuple[str, Scheme, Dict], ...] = (
+    ("sram-64tsb", Scheme.SRAM_64TSB, {}),
+    ("sttram-4tsb-wb", Scheme.STTRAM_4TSB_WB, {}),
+    ("sttram-16tsb-stagger-wb", Scheme.STTRAM_4TSB_WB,
+     dict(n_region_tsbs=16, tsb_placement=TSBPlacement.STAGGER)),
+)
+
+#: Config the ">= 3x cycles/sec" acceptance target applies to.
+TARGET_CONFIG = "sttram-4tsb-wb"
+TARGET_SPEEDUP = 3.0
+
+
+class PhasedBurstStream(AccessStream):
+    """Deterministic burst/compute-phase stream for the perf harness.
+
+    Each period issues one burst of ``burst_length`` accesses pinned to
+    a rotating home bank (store-heavy, small intra-burst gaps -- the
+    paper's Figure 3 write pattern), followed by a long compute phase
+    (a single large instruction gap).  Compute gaps carry only small
+    per-core jitter, so cores behave like a barrier-synchronised
+    data-parallel program: memory waves hammer the banks together,
+    then the whole chip goes quiet until the next wave.
+    """
+
+    def __init__(self, core_id: int, config: SystemConfig, seed: int,
+                 burst_length: int = 12, mean_compute_gap: int = 20_000,
+                 store_fraction: float = 0.7):
+        self._rng = random.Random((seed * 911_383) ^ (core_id * 65_537))
+        self.core_id = core_id
+        self.n_banks = config.n_banks
+        self.burst_length = burst_length
+        self.mean_compute_gap = mean_compute_gap
+        self.store_fraction = store_fraction
+        self._bank = core_id % self.n_banks
+        self._index = 0
+        self._in_burst = 0
+        #: small start-phase jitter only -- waves stay coherent
+        self._pending_gap = self._rng.randrange(64)
+
+    def next_access(self):
+        rng = self._rng
+        if self._in_burst <= 0:
+            # Start a new burst at the next bank after the compute phase.
+            self._in_burst = self.burst_length
+            self._bank = (self._bank + 1 + rng.randrange(3)) % self.n_banks
+            gap = self._pending_gap
+            self._pending_gap = (
+                self.mean_compute_gap + rng.randrange(-256, 257)
+            )
+        else:
+            gap = rng.randrange(2, 9)
+        self._in_burst -= 1
+        self._index += 1
+        # Private per-core index range; rotate within a small window so
+        # bursts re-touch recent blocks (bank stays the serialisation
+        # point, directory state stays small).
+        index = 1 + self.core_id * 4096 + (self._index % 512)
+        block = bank_block(self._bank, index, self.n_banks)
+        is_store = rng.random() < self.store_fraction
+        return (gap, block, is_store)
+
+
+def perf_workload(config: SystemConfig, seed: int = 1) -> Workload:
+    """The harness workload: one staggered burst stream per core."""
+    streams = [
+        PhasedBurstStream(core, config, seed)
+        for core in range(config.n_cores)
+    ]
+    apps = ["burst"] * config.n_cores
+    return Workload(streams, apps, "perf-burst")
+
+
+def _result_fingerprint(result) -> Dict:
+    """Headline metrics stored in BENCH_perf.json for drift checks."""
+    return {
+        "cycles": result.cycles,
+        "instructions": sum(result.instructions),
+        "packets_delivered": result.packets_delivered,
+        "avg_packet_latency": round(result.avg_packet_latency, 6),
+        "avg_bank_queue_wait": round(result.avg_bank_queue_wait, 6),
+        "delayed_cycle_sum": result.delayed_cycle_sum,
+    }
+
+
+def run_one(label: str, scheme: Scheme, overrides: Dict, scheduler: str,
+            cycles: int, warmup: int, seed: int) -> Dict:
+    """One timed simulation; returns throughput plus the full result."""
+    from repro.sim import reset_state
+
+    reset_state()
+    config = make_config(scheme, **overrides)
+    workload = perf_workload(config, seed)
+    sim = CMPSimulator(config, workload, scheduler=scheduler)
+    t0 = time.perf_counter()
+    result = sim.run(cycles, warmup=warmup)
+    wall = time.perf_counter() - t0
+    total_cycles = cycles + warmup
+    return {
+        "label": label,
+        "scheduler": scheduler,
+        "wall_seconds": wall,
+        "cycles_per_sec": total_cycles / wall,
+        "packets_per_sec": result.packets_delivered / wall,
+        "executed_cycles": sim.executed_cycles,
+        "total_cycles": total_cycles,
+        "result": result,
+    }
+
+
+def run_perf(cycles: int = 30_000, warmup: int = 2_000, seed: int = 1,
+             repeats: int = 3,
+             labels: Optional[Tuple[str, ...]] = None) -> Dict:
+    """Run the full benchmark matrix and return the report dict.
+
+    Every config runs under both schedulers; the two ``SimulationResult``
+    objects must match exactly (raises otherwise).  Wall times take the
+    best of ``repeats`` to suppress scheduling noise.  ``labels``
+    restricts the matrix (smoke mode runs the target config only).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    report: Dict = {
+        "benchmark": "scheduler-throughput",
+        "workload": "perf-burst",
+        "cycles": cycles,
+        "warmup": warmup,
+        "seed": seed,
+        "configs": {},
+    }
+    for label, scheme, overrides in PERF_CONFIGS:
+        if labels is not None and label not in labels:
+            continue
+        best: Dict[str, Dict] = {}
+        # Interleave schedulers across repeats so transient host load
+        # lands on both sides of the comparison; keep the best of each.
+        for _ in range(repeats):
+            for scheduler in ("dense", "event"):
+                run = run_one(label, scheme, overrides, scheduler,
+                              cycles, warmup, seed)
+                prev = best.get(scheduler)
+                if prev is None or run["wall_seconds"] < prev["wall_seconds"]:
+                    best[scheduler] = run
+        dense, event = best["dense"], best["event"]
+        if dense["result"].__dict__ != event["result"].__dict__:
+            diffs = [
+                k for k in dense["result"].__dict__
+                if dense["result"].__dict__[k] != event["result"].__dict__[k]
+            ]
+            raise AssertionError(
+                f"{label}: dense/event SimulationResult drift in {diffs}"
+            )
+        speedup = dense["cycles_per_sec"] and (
+            event["cycles_per_sec"] / dense["cycles_per_sec"]
+        )
+        report["configs"][label] = {
+            "scheme": scheme.value,
+            "overrides": {k: str(v) for k, v in overrides.items()},
+            "dense_cycles_per_sec": round(dense["cycles_per_sec"], 1),
+            "event_cycles_per_sec": round(event["cycles_per_sec"], 1),
+            "dense_packets_per_sec": round(dense["packets_per_sec"], 1),
+            "event_packets_per_sec": round(event["packets_per_sec"], 1),
+            "speedup": round(speedup, 3),
+            "executed_cycles": event["executed_cycles"],
+            "total_cycles": event["total_cycles"],
+            "identical_results": True,
+            "fingerprint": _result_fingerprint(event["result"]),
+        }
+    return report
+
+
+def run_perf_smoke(seed: int = 1) -> Dict:
+    """Quick CI variant: the target config only, fewer repeats.
+
+    Keeps the full measurement window so the speedup is comparable
+    with the committed full report (the regression gate relies on it).
+    """
+    return run_perf(seed=seed, repeats=2, labels=(TARGET_CONFIG,))
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     tolerance: float = 0.2) -> List[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a list of human-readable failures (empty when healthy).
+    Raw cycles/sec is machine-dependent, so the gate compares the
+    event/dense *speedup* of each config present in both reports: a
+    speedup more than ``tolerance`` below the baseline means the event
+    scheduler's cycles/sec regressed relative to the same-machine dense
+    loop.
+    """
+    failures: List[str] = []
+    for label, row in current["configs"].items():
+        base = baseline.get("configs", {}).get(label)
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{label}: speedup {row['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({(1 - tolerance) * 100:.0f}% of the "
+                f"committed {base['speedup']:.2f}x baseline)"
+            )
+        if not row.get("identical_results"):
+            failures.append(f"{label}: dense/event result drift")
+    return failures
+
+
+def write_report(report: Dict, path: str = "BENCH_perf.json") -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        f"{'config':26s} {'dense cyc/s':>12s} {'event cyc/s':>12s} "
+        f"{'speedup':>8s} {'executed':>14s}",
+    ]
+    for label, row in report["configs"].items():
+        executed = f"{row['executed_cycles']}/{row['total_cycles']}"
+        lines.append(
+            f"{label:26s} {row['dense_cycles_per_sec']:12.0f} "
+            f"{row['event_cycles_per_sec']:12.0f} "
+            f"{row['speedup']:7.2f}x {executed:>14s}"
+        )
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ cycle by cycle:
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional
 
 from repro.cache.bank import BankController
@@ -22,8 +23,12 @@ from repro.core.arbitration import BankAwareArbiter, RoundRobinArbiter
 from repro.core.busy import BankBusyTracker
 from repro.core.estimators import WindowEstimator, make_estimator
 from repro.core.regions import build_region_map
-from repro.cpu.core import Core
+from repro.cpu.core import (
+    CORE_GAP, CORE_RUN, CORE_STALL_MSHR, CORE_STALL_NI,
+    CORE_STALL_WINDOW, Core,
+)
 from repro.noc.network import Network
+from repro.noc.router import NEVER
 from repro.noc.packet import Packet, PacketClass
 from repro.noc.routing import RoutingPolicy
 from repro.noc.topology import Mesh3D
@@ -36,8 +41,12 @@ class CMPSimulator:
     """One simulated CMP instance running one workload."""
 
     def __init__(self, config: SystemConfig, workload: Workload,
-                 log_bank_accesses: bool = False, prewarm: bool = True):
+                 log_bank_accesses: bool = False, prewarm: bool = True,
+                 scheduler: str = "event"):
         config.validate()
+        if scheduler not in ("event", "dense"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.scheduler = scheduler
         if workload.n_cores != config.n_cores:
             raise ValueError(
                 f"workload has {workload.n_cores} streams, config needs "
@@ -62,8 +71,32 @@ class CMPSimulator:
         self.network = Network(
             config, self.topo, self.routing, self.arbiter, self.estimator,
         )
+        if scheduler == "dense":
+            self.network.use_reference_loop = True
 
         n = config.n_cores
+
+        # Event-scheduler bookkeeping (harmless in dense mode).  Banks,
+        # MCs and cores deregister from their active set when provably
+        # idle and re-register on wake events (packet delivery, NI
+        # drain, gap/window timers); sleeping cores lazily accrue their
+        # per-cycle counters when woken or flushed.
+        self._active_banks = set(range(config.n_banks))
+        self._active_mcs = set()
+        self._active_cores = set(range(n))
+        #: core_id -> [CORE_* status, last stepped cycle, wake-at cycle]
+        self._core_sleep: Dict[int, list] = {}
+        #: min-heap of (wake_at, core_id) for timed (gap) sleepers;
+        #: entries go stale when a core is woken early -- validated
+        #: lazily against ``_core_sleep`` when popped.
+        self._wake_heap: List[tuple] = []
+        #: diagnostic: cycles actually executed (vs skipped) by the
+        #: event scheduler; equals ``self.cycle`` advancement in dense.
+        self.executed_cycles = 0
+        self._core_at_node = {
+            self.topo.core_node(i): i for i in range(n)
+        }
+        self.network.on_source_drain = self._on_source_drain
 
         def can_send_from(node: int):
             return lambda: self.network.can_inject(node)
@@ -196,6 +229,9 @@ class CMPSimulator:
                 self._handle_wb_ack(pkt, now)
             else:
                 core.on_packet(pkt, now)
+                # Fills clear MSHR/window stalls; any delivery may end a
+                # sleep, so wake the core for its next step.
+                self._wake_core(core_id, now)
 
         return sink
 
@@ -212,8 +248,10 @@ class CMPSimulator:
                 msg = pkt.payload
                 if getattr(msg, "response", False):
                     bank.on_packet(pkt, now)
+                    self._active_banks.add(bank_id)
                 elif mc is not None:
                     mc.on_packet(pkt, now)
+                    self._active_mcs.add(mc.index)
                 else:  # pragma: no cover - misrouted packet
                     raise RuntimeError(
                         f"memory request at non-MC node {node}"
@@ -225,6 +263,7 @@ class CMPSimulator:
             ):
                 self._send_wb_ack(pkt, bank_id, now)
             bank.on_packet(pkt, now)
+            self._active_banks.add(bank_id)
 
         return sink
 
@@ -266,6 +305,12 @@ class CMPSimulator:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
+        """Advance every component one cycle (dense semantics).
+
+        This is the reference schedule; the event-driven path below
+        reproduces it bit-for-bit while stepping only active components
+        and skipping provably-idle cycles.
+        """
         now = self.cycle
         self.network.step(now)
         for mc in self.mcs:
@@ -276,12 +321,151 @@ class CMPSimulator:
             core.step(now)
         self.cycle += 1
 
+    # -- event-driven scheduling ---------------------------------------
+
+    def _on_source_drain(self, node: int, now: int) -> None:
+        """NI queue space opened at ``node``: wake an NI-stalled core."""
+        core_id = self._core_at_node.get(node)
+        if core_id is not None:
+            self._wake_core(core_id, now)
+
+    def _wake_core(self, core_id: int, now: int) -> None:
+        state = self._core_sleep.pop(core_id, None)
+        if state is None:
+            return
+        skipped = now - 1 - state[1]
+        if skipped > 0:
+            self._accrue_core(core_id, state[0], skipped)
+        self._active_cores.add(core_id)
+
+    def _accrue_core(self, core_id: int, status: int, k: int) -> None:
+        """Replay ``k`` skipped cycles of a sleeping core's counters.
+
+        While asleep, every cycle is provably identical: a pure stall
+        bumps one stall counter (the L1 lookup/compensation nets to
+        zero), a pure gap cycle commits ``commit_width`` instructions.
+        """
+        core = self.cores[core_id]
+        if status == CORE_GAP:
+            n = k * core.config.commit_width
+            core.stats.committed += n
+            core._gap_remaining -= n
+        elif status == CORE_STALL_WINDOW:
+            core.stats.stall_cycles += k
+        elif status == CORE_STALL_NI:
+            core.stats.ni_stall_cycles += k
+        else:  # CORE_STALL_MSHR
+            core.stats.mshr_stall_cycles += k
+            core.mshrs.full_stalls += k
+
+    def _event_step(self, now: int) -> None:
+        """One executed cycle in dense component order, active sets only."""
+        self.network.step(now)
+        heap = self._wake_heap
+        sleep = self._core_sleep
+        while heap and heap[0][0] <= now:
+            wake, cid = heapq.heappop(heap)
+            state = sleep.get(cid)
+            if state is not None and state[2] == wake:
+                self._wake_core(cid, now)
+        for i in sorted(self._active_mcs):
+            mc = self.mcs[i]
+            mc.step(now)
+            if mc.idle():
+                self._active_mcs.discard(i)
+        for b in sorted(self._active_banks):
+            bank = self.banks[b]
+            if bank.busy_until > now:
+                continue  # dense step would return immediately
+            bank.step(now)
+            if bank.next_event_cycle(now) == NEVER:
+                self._active_banks.discard(b)
+        for cid in sorted(self._active_cores):
+            core = self.cores[cid]
+            status = core.step(now)
+            if status == CORE_RUN:
+                continue
+            if status == CORE_GAP:
+                horizon = core.pure_gap_cycles()
+                if horizon <= 0:
+                    continue
+                wake = now + horizon + 1
+                if wake < NEVER:
+                    heapq.heappush(heap, (wake, cid))
+            else:
+                wake = NEVER  # woken by delivery / NI drain
+            self._active_cores.discard(cid)
+            sleep[cid] = [status, now, wake]
+
+    def _next_event(self, now: int) -> int:
+        """Lower bound (> ``now``) on the next cycle anything can act."""
+        if self._active_cores:
+            return now + 1
+        nxt = self.network.next_event_cycle(now)
+        for b in self._active_banks:
+            t = self.banks[b].next_event_cycle(now)
+            if t < nxt:
+                nxt = t
+        for i in self._active_mcs:
+            t = self.mcs[i].next_event_cycle(now)
+            if t < nxt:
+                nxt = t
+        heap = self._wake_heap
+        sleep = self._core_sleep
+        while heap:
+            wake, cid = heap[0]
+            state = sleep.get(cid)
+            if state is not None and state[2] == wake:
+                if wake < nxt:
+                    nxt = wake
+                break
+            heapq.heappop(heap)  # stale: core woken early
+        return nxt if nxt > now else now + 1
+
+    def _flush_lazy(self) -> None:
+        """Accrue all lazily-deferred counters up to ``self.cycle``.
+
+        Called at warm-up/measurement/run boundaries so sleeping cores'
+        commit/stall counters and parked packets' delay accrual match
+        the dense schedule exactly at the observation point.
+        """
+        boundary = self.cycle
+        for cid, state in self._core_sleep.items():
+            skipped = boundary - 1 - state[1]
+            if skipped > 0:
+                self._accrue_core(cid, state[0], skipped)
+                state[1] = boundary - 1
+        self.network.flush_parked(boundary)
+
+    def _run_event(self, n_cycles: int) -> None:
+        if n_cycles <= 0:
+            return
+        limit = self.cycle + n_cycles
+        while self.cycle < limit:
+            now = self.cycle
+            self._event_step(now)
+            self.executed_cycles += 1
+            nxt = self._next_event(now)
+            self.cycle = nxt if nxt < limit else limit
+        self._flush_lazy()
+
+    # -- measurement ----------------------------------------------------
+
     def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
         """Advance the simulation and collect a measurement window.
 
         Warm-up cycles populate caches and network state; statistics are
         measured over the following ``cycles`` cycles.
         """
+        if self.scheduler == "event":
+            self._run_event(warmup)
+            committed_at_start = [c.stats.committed for c in self.cores]
+            start_cycle = self.cycle
+            self._reset_measurement_stats()
+            self._run_event(cycles)
+            return SimulationResult.collect(
+                self, start_cycle, committed_at_start,
+            )
         for _ in range(warmup):
             self.step()
         committed_at_start = [c.stats.committed for c in self.cores]
@@ -312,6 +496,8 @@ class CMPSimulator:
         issue before the quiesce check; infinite synthetic streams never
         drain -- this is for scripted/finite workloads.
         """
+        if self.scheduler == "event":
+            return self._drain_event(max_cycles, min_cycles)
         for cycle in range(max_cycles):
             self.step()
             if cycle < min_cycles:
@@ -324,3 +510,34 @@ class CMPSimulator:
             ):
                 return True
         return False
+
+    def _drain_event(self, max_cycles: int, min_cycles: int) -> bool:
+        end = self.cycle + max_cycles
+        executed = 0
+        while self.cycle < end:
+            now = self.cycle
+            self._event_step(now)
+            executed += 1
+            self.cycle = now + 1
+            # Quiescence can only change at executed cycles; skipped
+            # cycles are provably no-ops, so one check per step suffices.
+            if executed > min_cycles:
+                if self._quiesced():
+                    self._flush_lazy()
+                    return True
+                nxt = self._next_event(now)
+                if nxt > self.cycle:
+                    self.cycle = nxt if nxt < end else end
+        self._flush_lazy()
+        return False
+
+    def _quiesced(self) -> bool:
+        if not self.network.quiesced():
+            return False
+        now = self.cycle
+        # Deactivated banks/MCs are idle by construction.
+        return (
+            all(self.banks[b].idle(now) for b in self._active_banks)
+            and all(self.mcs[i].idle() for i in self._active_mcs)
+            and all(c.quiesced() for c in self.cores)
+        )

@@ -158,3 +158,55 @@ class TestRegionTSBCombining:
         run_until_delivered(net, cycles=1000)
         assert pkt.combined
         assert net.stats.tsb_combined_flit_pairs > 0
+
+
+class TestInjectionHeadOfLine:
+    """Pin `_inject_sources` head-of-line semantics (in-order NIs).
+
+    The per-node injection loop must stop at the first packet whose
+    ``ready_at`` is in the future: packets queued behind it stay queued
+    even if they are ready *now*.  The active-set scheduler's wake hints
+    key off the head packet, so silently reordering injection would
+    both change results and break the hints.
+    """
+
+    def test_future_head_blocks_ready_follower(self):
+        cfg, topo, net = build_network()
+        dst = topo.bank_node(15)
+        net.register_sink(dst, lambda p, t: None)
+        head = Packet(PacketClass.REQUEST, 0, dst, 1, inject_cycle=5)
+        follower = Packet(PacketClass.REQUEST, 0, dst, 1, inject_cycle=0)
+        net.inject(head, 0)
+        net.inject(follower, 0)
+        for now in range(5):
+            net.step(now)
+            # Nothing may enter the mesh while the head is not ready,
+            # even though the follower has been ready since cycle 0.
+            assert net.total_resident() == 0
+            assert list(net.source_queues[0]) == [head, follower]
+        net.step(5)
+        # Both inject on the head's ready cycle, in queue order: the
+        # head wins the same-cycle route arbitration and moves one hop
+        # downstream while the follower waits at the source router.
+        assert not net.source_queues[0]
+        assert net.total_resident() == 2
+        assert head.hops == 1
+        assert follower.hops == 0
+        resident_here = [
+            e[2] for port in net.routers[0].out_entries for e in port
+        ]
+        assert resident_here == [follower]
+
+    def test_blocked_node_does_not_block_other_sources(self):
+        cfg, topo, net = build_network()
+        dst = topo.bank_node(15)
+        net.register_sink(dst, lambda p, t: None)
+        blocked = Packet(PacketClass.REQUEST, 0, dst, 1, inject_cycle=50)
+        other = Packet(PacketClass.REQUEST, 1, dst, 1, inject_cycle=0)
+        net.inject(blocked, 0)
+        net.inject(other, 0)
+        net.step(0)
+        assert list(net.source_queues[0]) == [blocked]
+        assert not net.source_queues[1]
+        assert net.total_resident() == 1
+        assert other.network_cycle == 0
