@@ -38,13 +38,15 @@ def main() -> None:
             round(throughput[scheme], 3),
             round(result.avg_bank_queue_wait, 1),
             round(result.avg_packet_latency, 1),
+            round(result.latency_p95),
+            round(result.latency_p99),
             result.delayed_cycle_sum,
             round(energy[scheme], 3),
         ])
     print()
     print(format_table(
         ["scheme", "throughput", "bank queue (cyc)", "pkt latency",
-         "delayed cyc", "energy"],
+         "p95", "p99", "delayed cyc", "energy"],
         rows,
         title=f"{app}: normalised to {Scheme.SRAM_64TSB.value}",
     ))
@@ -54,6 +56,12 @@ def main() -> None:
     saved = plain.avg_bank_queue_wait - wb.avg_bank_queue_wait
     print(f"The WB estimator trimmed {saved:.1f} cycles of average bank "
           "queueing relative to the restriction-only MRAM-4TSB baseline.")
+    if wb.estimator_accuracy:
+        acc = wb.estimator_accuracy
+        print(f"Its busy predictions were right {100 * acc['accuracy']:.1f}% "
+              f"of the time ({acc['over_predictions']} over- and "
+              f"{acc['under_predictions']} under-predictions of "
+              f"{acc['samples']} forwarded requests).")
 
 
 if __name__ == "__main__":

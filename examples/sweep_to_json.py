@@ -44,6 +44,17 @@ def main() -> None:
                        title="throughput normalised to SRAM-64TSB "
                              "(from JSON)"))
 
+    # Tail latency straight from the persisted summaries: the p99 shows
+    # the bank-queueing pathology the averages smooth over.
+    p99 = loaded.metric("latency_p99")
+    rows = [
+        [app] + [round(p99[app][s]) for s in loaded.schemes()]
+        for app in loaded.apps()
+    ]
+    print()
+    print(format_table(["app"] + loaded.schemes(), rows,
+                       title="p99 packet latency in cycles (from JSON)"))
+
 
 if __name__ == "__main__":
     main()

@@ -28,6 +28,7 @@ from repro.cache.mshr import MSHRFile
 from repro.cache.write_buffer import WriteBuffer
 from repro.noc.packet import Packet, PacketClass
 from repro.noc.router import NEVER
+from repro.obs.events import EV_BANK_END, EV_BANK_START
 from repro.sim.config import SystemConfig
 
 #: send(klass, dst_node, flits, is_write, bank, payload) -> None
@@ -48,6 +49,13 @@ class BankStats:
         self.queue_wait_samples = 0
         self.busy_cycles = 0
         self.max_queue_depth = 0
+        #: Always-on ground-truth service log: one ``[start, end)``
+        #: interval per bank operation, appended at service start.  A
+        #: read preemption truncates the last interval's end to the
+        #: preemption cycle.  This is the "actual busy" side of the
+        #: estimator-accuracy analysis (repro.obs.accuracy) and the
+        #: source of the epoch sampler's per-bank busy fractions.
+        self.service_intervals: List[Tuple[int, int]] = []
 
     def record_wait(self, wait: int) -> None:
         self.queue_wait_sum += wait
@@ -110,6 +118,8 @@ class BankController:
         #: deferred packet emissions: list of (ready_cycle, spec)
         self._outbox: List[Tuple[int, tuple]] = []
         self.stats = BankStats()
+        #: observability emit callable; None when tracing is detached
+        self.trace = None
 
         self.log_accesses = log_accesses
         #: (cycle, is_write) service-start log for the Figure 3 analysis
@@ -167,6 +177,14 @@ class BankController:
             if self.write_buffer.preempt_drain() is not None:
                 self.busy_until = now
                 self._current_op = None
+                intervals = self.stats.service_intervals
+                if intervals:
+                    intervals[-1] = (intervals[-1][0], now)
+                trace = self.trace
+                if trace is not None:
+                    trace(now, EV_BANK_END, {
+                        "bank": self.bank, "op": "drain", "preempted": True,
+                    })
 
     # ------------------------------------------------------------------
     # Simulation step
@@ -190,6 +208,14 @@ class BankController:
                 service = self._array_write_cycles()
                 self.busy_until = now + service
                 self.stats.busy_cycles += service
+                self.stats.service_intervals.append((now, now + service))
+                trace = self.trace
+                if trace is not None:
+                    trace(now, EV_BANK_START, {
+                        "bank": self.bank, "op": "drain",
+                        "service": service,
+                        "queue_depth": len(self.queue),
+                    })
 
     # ------------------------------------------------------------------
     # Operation lifecycle
@@ -244,10 +270,22 @@ class BankController:
 
         self.busy_until = now + service
         self.stats.busy_cycles += service
+        self.stats.service_intervals.append((now, now + service))
+        trace = self.trace
+        if trace is not None:
+            trace(now, EV_BANK_START, {
+                "bank": self.bank, "op": self._current_op[0],
+                "service": service, "queue_depth": len(self.queue),
+            })
 
     def _complete_op(self, now: int) -> None:
         kind, payload, start = self._current_op
         self._current_op = None
+        trace = self.trace
+        if trace is not None:
+            trace(now, EV_BANK_END, {
+                "bank": self.bank, "op": kind, "preempted": False,
+            })
         if kind == "read":
             self._finish_read(payload, now)
         elif kind == "write_hybrid":

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro table3
     python -m repro fig3 --app tpcc
     python -m repro perf --out BENCH_perf.json
+    python -m repro trace --app tpcc --out trace.jsonl --chrome trace.json
+    python -m repro report --app tpcc
     python -m repro list
 
 All experiment subcommands accept ``--mesh-width``, ``--capacity-scale``,
@@ -91,6 +93,35 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--warmup", type=int, default=None)
     perf_p.add_argument("--repeats", type=_positive_int, default=None)
     perf_p.add_argument("--seed", type=int, default=1)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one scheme with event tracing enabled")
+    trace_p.add_argument("--app", required=True)
+    trace_p.add_argument("--scheme", default=Scheme.STTRAM_4TSB_WB.value,
+                         choices=sorted(_SCHEME_BY_NAME))
+    trace_p.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                         help="JSONL event log destination")
+    trace_p.add_argument("--chrome", default=None, metavar="PATH",
+                         help="also write a Chrome/Perfetto trace file")
+    trace_p.add_argument("--validate", action="store_true",
+                         help="re-read the JSONL and check it against "
+                              "the event schema")
+    trace_p.add_argument("--epoch", type=_positive_int, default=256,
+                         help="epoch sampler period in cycles")
+    trace_p.add_argument("--scheduler", default="event",
+                         choices=("event", "dense"))
+    _add_common(trace_p)
+
+    report_p = sub.add_parser(
+        "report", help="run one scheme and print the observability report")
+    report_p.add_argument("--app", required=True)
+    report_p.add_argument("--scheme", default=Scheme.STTRAM_4TSB_WB.value,
+                          choices=sorted(_SCHEME_BY_NAME))
+    report_p.add_argument("--epoch", type=_positive_int, default=256,
+                          help="epoch sampler period in cycles")
+    report_p.add_argument("--scheduler", default="event",
+                          choices=("event", "dense"))
+    _add_common(report_p)
 
     sub.add_parser("list", help="list benchmarks and schemes")
     return parser
@@ -192,6 +223,66 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _instrumented_run(args, obs):
+    """Build, attach and run one instrumented simulation."""
+    from repro.noc.packet import reset_packet_ids
+    from repro.sim.simulator import CMPSimulator
+
+    reset_packet_ids()
+    scheme = _SCHEME_BY_NAME[args.scheme]
+    config = make_config(scheme, **_overrides(args))
+    workload = app_factory(args.app, seed=args.seed)(config)
+    sim = CMPSimulator(config, workload, scheduler=args.scheduler)
+    obs.attach(sim)
+    result = sim.run(args.cycles, warmup=args.warmup)
+    return sim, result
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        ChromeTraceSink, JSONLSink, Observability, validate_jsonl,
+    )
+
+    obs = Observability(epoch=args.epoch)
+    jsonl = JSONLSink(args.out)
+    obs.add_sink(jsonl)
+    chrome = None
+    if args.chrome:
+        chrome = ChromeTraceSink()
+        obs.add_sink(chrome)
+
+    _sim, result = _instrumented_run(args, obs)
+    obs.close()
+    print(f"wrote {jsonl.events_written} events to {args.out}")
+    if chrome is not None:
+        chrome.write(args.chrome)
+        print(f"wrote {len(chrome)} trace slices to {args.chrome} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    summary = result.to_dict()
+    print(f"measured {summary['cycles']} cycles, "
+          f"{summary['packets_delivered']} packets delivered, "
+          f"p99 latency {summary['latency_p99']:.0f} cycles")
+
+    if args.validate:
+        rows, errors = validate_jsonl(args.out)
+        if errors:
+            for error in errors:
+                print(f"SCHEMA VIOLATION: {error}", file=sys.stderr)
+            return 1
+        print(f"validated {rows} rows against the event schema")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import Observability
+    from repro.obs.report import render_report
+
+    obs = Observability(epoch=args.epoch)
+    _sim, result = _instrumented_run(args, obs)
+    print(render_report(result.to_dict(), obs, args.mesh_width))
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("schemes:")
     for scheme in ALL_SCHEMES:
@@ -210,6 +301,8 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "fig3": _cmd_fig3,
     "perf": _cmd_perf,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
     "list": _cmd_list,
 }
 

@@ -15,6 +15,7 @@ from repro.core.busy import BankBusyTracker
 from repro.core.estimators import CongestionEstimator
 from repro.core.regions import RegionMap
 from repro.noc.packet import Packet, PacketClass
+from repro.obs.events import EV_ARB_REORDER, EV_EST_PREDICT
 from repro.noc.router import NEVER
 from repro.sim.config import SystemConfig
 
@@ -32,6 +33,8 @@ class RoundRobinArbiter:
     def __init__(self):
         self._pointers = {}
         self.network = None
+        #: observability emit callable; None when tracing is detached
+        self.trace = None
 
     def bind(self, network) -> None:
         """Give the arbiter access to live router state."""
@@ -142,8 +145,14 @@ class BankAwareArbiter(RoundRobinArbiter):
             return
         est = self.estimator.congestion_estimate(node, pkt.bank, now)
         hops = self.region_map.expected_child_distance(pkt.bank)
-        self.tracker.charge(pkt, now, hops, est)
+        arrival, predicted = self.tracker.charge(pkt, now, hops, est)
         self.estimator.on_forward(node, pkt, now)
+        trace = self.trace
+        if trace is not None:
+            trace(now, EV_EST_PREDICT, {
+                "node": node, "bank": pkt.bank, "estimate": est,
+                "arrival": arrival, "predicted_busy": predicted,
+            })
 
     def choose(self, node: int, out_port: int, entries: List[list],
                now: int) -> Optional[int]:
@@ -192,23 +201,34 @@ class BankAwareArbiter(RoundRobinArbiter):
         if delayed:
             self.reorders += 1
         if len(eligible) == 1:
-            return eligible[0]
-        # Among eligible packets: boost coherence, memory-controller and
-        # response traffic over ordinary requests (Figure 2c); among
-        # requests, let latency-critical reads pass non-blocking write
-        # data (Section 3.2: not all requests are equally critical from
-        # the network standpoint); break ties oldest-first.
-        def rank(i: int):
-            pkt = entries[i][ENTRY_PKT]
-            if pkt.klass is not PacketClass.REQUEST:
-                boost = 0
-            elif not pkt.is_write or not self.read_priority:
-                boost = 1
-            else:
-                boost = 2
-            return (boost, pkt.inject_cycle, entries[i][ENTRY_ARRIVAL])
+            winner = eligible[0]
+        else:
+            # Among eligible packets: boost coherence, memory-controller
+            # and response traffic over ordinary requests (Figure 2c);
+            # among requests, let latency-critical reads pass non-blocking
+            # write data (Section 3.2: not all requests are equally
+            # critical from the network standpoint); break ties
+            # oldest-first.
+            def rank(i: int):
+                pkt = entries[i][ENTRY_PKT]
+                if pkt.klass is not PacketClass.REQUEST:
+                    boost = 0
+                elif not pkt.is_write or not self.read_priority:
+                    boost = 1
+                else:
+                    boost = 2
+                return (boost, pkt.inject_cycle, entries[i][ENTRY_ARRIVAL])
 
-        return min(eligible, key=rank)
+            winner = min(eligible, key=rank)
+        if delayed:
+            trace = self.trace
+            if trace is not None:
+                trace(now, EV_ARB_REORDER, {
+                    "node": node, "port": out_port,
+                    "delayed": len(delayed),
+                    "granted_pid": entries[winner][ENTRY_PKT].pid,
+                })
+        return winner
 
     # -- event-driven scheduling hooks ---------------------------------
 

@@ -10,7 +10,7 @@ are predicted to find the bank busy until the counter expires.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.noc.packet import Packet
 from repro.sim.config import SystemConfig
@@ -32,6 +32,14 @@ class BankBusyTracker:
         self.busy_until: Dict[int, int] = {}
         #: instrumentation: predicted-busy hits seen by the arbiter.
         self.delays_predicted = 0
+        #: Always-on prediction log consumed by the accuracy analysis:
+        #: one ``(bank, predicted arrival cycle, predicted busy)`` row per
+        #: forwarded managed request.  Recorded here (not in
+        #: ``predicted_busy``) because ``charge`` runs exactly once per
+        #: forward under both the dense and event schedulers, whereas
+        #: ``predicted_busy`` call counts differ (the event scheduler
+        #: bulk-compensates parked cycles).
+        self.predictions: List[Tuple[int, int, bool]] = []
 
     def travel_cycles(self, hops: int) -> int:
         """Base parent->child latency: intermediate routers plus links.
@@ -45,7 +53,7 @@ class BankBusyTracker:
         return (hops - 1) * (self.hop_cycles - 1) + hops
 
     def charge(self, pkt: Packet, now: int, hops: int,
-               congestion_estimate: int) -> None:
+               congestion_estimate: int) -> Tuple[int, bool]:
         """Account for a request just forwarded toward its child bank.
 
         The hardware keeps one busy-bit and one counter per child
@@ -54,15 +62,22 @@ class BankBusyTracker:
         under a sustained write stream the parent would otherwise
         predict the bank busy arbitrarily far into the future and
         degenerate into delaying everything.
+
+        Returns ``(predicted arrival cycle, predicted busy at arrival)``
+        -- the state *before* this charge, i.e. the prediction the
+        arbiter acted on when it released this packet.
         """
         bank = pkt.bank
         if bank is None:
-            return
+            return now, False
         arrival = now + self.travel_cycles(hops) + congestion_estimate
+        predicted = arrival < self.busy_until.get(bank, 0)
+        self.predictions.append((bank, arrival, predicted))
         service = self.write_cycles if pkt.is_write else self.read_cycles
         free_at = arrival + service
         if free_at > self.busy_until.get(bank, 0):
             self.busy_until[bank] = free_at
+        return arrival, predicted
 
     def predicted_busy(self, bank: int, now: int, hops: int,
                        congestion_estimate: int) -> bool:

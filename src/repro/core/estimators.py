@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.noc.packet import Packet, PacketClass
+from repro.obs.events import EV_EST_UPDATE
 from repro.sim.config import Estimator, SystemConfig
 
 
@@ -24,6 +25,9 @@ class CongestionEstimator:
     """Interface shared by the three schemes."""
 
     name = "none"
+
+    #: observability emit callable; None when tracing is detached
+    trace = None
 
     #: Cycle period at which :meth:`tick` must be invoked, or ``None``
     #: when the estimator needs no per-cycle updates at all (the network
@@ -189,6 +193,12 @@ class WindowEstimator(CongestionEstimator):
         estimate = max(0, elapsed // 2 - base_one_way)
         self._estimates[(parent_node, bank)] = estimate
         self.acks_received += 1
+        trace = self.trace
+        if trace is not None:
+            trace(now, EV_EST_UPDATE, {
+                "node": parent_node, "bank": bank,
+                "estimate": estimate, "elapsed": elapsed,
+            })
         # A changed estimate can make a parked request eligible earlier
         # than the parent router's cached wake hint assumed; wake it.
         if self.network is not None:

@@ -47,6 +47,9 @@ from repro.noc.router import NEVER, Router
 from repro.noc.routing import RoutingPolicy
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import DOWN, LOCAL, N_PORTS, OPPOSITE, Mesh3D
+from repro.obs.events import (
+    EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT, EV_TSB_COMBINE,
+)
 from repro.sim.config import SystemConfig
 
 Sink = Callable[[Packet, int], None]
@@ -69,6 +72,8 @@ class Network:
         self.arbiter = arbiter
         self.estimator = estimator
         self.stats = NetworkStats()
+        #: observability emit callable; None when tracing is detached
+        self.trace = None
         self.routers: List[Router] = [
             Router(node, config.n_vcs) for node in range(topo.n_nodes)
         ]
@@ -147,6 +152,13 @@ class Network:
         """Queue a packet at its source NI."""
         self.routing.prepare(pkt)
         self.stats.on_inject(pkt, now)
+        trace = self.trace
+        if trace is not None:
+            trace(now, EV_PKT_INJECT, {
+                "pid": pkt.pid, "klass": pkt.klass.name,
+                "src": pkt.src, "dst": pkt.dst, "flits": pkt.flits,
+                "is_write": pkt.is_write, "bank": pkt.bank,
+            })
         self.source_queues[pkt.src].append(pkt)
         self._nonempty_sources.add(pkt.src)
 
@@ -350,10 +362,16 @@ class Network:
                 if t < up.next_active:
                     up.next_active = t
 
+        trace = self.trace
         combiner = self._combiners.get((node, out_port))
         if combiner is not None:
+            before = combiner.packets_combined
             serialization = combiner.serialization_cycles(pkt)
             self.stats.tsb_combined_flit_pairs = combiner.combined_flit_pairs
+            if trace is not None and combiner.packets_combined != before:
+                trace(now, EV_TSB_COMBINE, {
+                    "node": node, "port": out_port, "pid": pkt.pid,
+                })
         else:
             serialization = pkt.flits
         router.out_busy_until[out_port] = now + serialization
@@ -362,6 +380,14 @@ class Network:
             if router.n_resident == 0:
                 self._active_routers.discard(node)
             self.stats.on_deliver(pkt, now)
+            if trace is not None:
+                trace(now, EV_PKT_DELIVER, {
+                    "pid": pkt.pid, "klass": pkt.klass.name,
+                    "src": pkt.src, "dst": pkt.dst, "bank": pkt.bank,
+                    "inject_cycle": pkt.inject_cycle,
+                    "latency": pkt.latency(now), "hops": pkt.hops,
+                    "delayed_cycles": pkt.delayed_cycles,
+                })
             sink = self.sinks.get(node)
             if sink is not None:
                 sink(pkt, now)
@@ -369,6 +395,12 @@ class Network:
 
         self.arbiter.on_forward(node, pkt, now, out_port)
         self.stats.on_forward(pkt, now)
+        if trace is not None:
+            trace(now, EV_PKT_FORWARD, {
+                "pid": pkt.pid, "klass": pkt.klass.name,
+                "node": node, "port": out_port, "flits": pkt.flits,
+                "bank": pkt.bank,
+            })
         pkt.hops += 1
         pkt.ready_at = now + self.hop_cycles
         down_node = downstream.node

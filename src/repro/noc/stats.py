@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.noc.packet import Packet, PacketClass
+from repro.obs.metrics import percentiles_from_hist
 
 
 class NetworkStats:
@@ -70,11 +71,19 @@ class NetworkStats:
         count = self.total_delivered
         return self.hop_sum / count if count else 0.0
 
+    def latency_percentiles(self) -> Dict[float, float]:
+        """p50/p95/p99 of the NI-to-NI latency distribution."""
+        return percentiles_from_hist(self.latency_hist)
+
     def as_dict(self) -> dict:
+        percentiles = self.latency_percentiles()
         return {
             "injected": dict(self.injected),
             "delivered": dict(self.delivered),
             "avg_latency": self.average_latency(),
+            "latency_p50": percentiles[50.0],
+            "latency_p95": percentiles[95.0],
+            "latency_p99": percentiles[99.0],
             "avg_hops": self.average_hops(),
             "flits_forwarded": self.flits_forwarded,
             "link_traversals": self.link_traversals,

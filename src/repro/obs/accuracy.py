@@ -1,0 +1,138 @@
+"""Estimator accuracy: predicted vs. actual bank busy windows.
+
+The paper's mechanism stands or falls on how well a parent router's
+busy-duration estimate matches reality (Sections 3.5, 4.2).  Two
+always-on recordings make that measurable:
+
+* :class:`~repro.core.busy.BankBusyTracker` logs, for every managed
+  request it charges, the predicted arrival cycle and whether the bank
+  was predicted busy at that arrival (``tracker.predictions``), and
+* each :class:`~repro.cache.bank.BankStats` logs the ground-truth
+  ``(service_start, service_end)`` interval of every bank operation
+  (``stats.service_intervals``).
+
+Both recordings happen at points that are bit-identical under the dense
+and event schedulers (a forward, a bank service start), so the resolved
+accuracy is scheduler-invariant.  This module joins the two streams:
+
+* **correct**: predicted state matched the bank's actual state at the
+  packet's predicted arrival cycle,
+* **over-prediction**: predicted busy, bank actually idle (the arbiter
+  delayed a packet for nothing),
+* **under-prediction**: predicted idle, bank actually busy (the packet
+  arrived to queue at the bank interface anyway).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: One prediction record: (bank, predicted arrival cycle, predicted busy).
+Prediction = Tuple[int, int, bool]
+#: One ground-truth service interval: [start, end) in cycles.
+Interval = Tuple[int, int]
+
+
+def busy_at(starts: Sequence[int], ends: Sequence[int], cycle: int) -> bool:
+    """Was the bank in service at ``cycle``, given sorted intervals?
+
+    ``starts``/``ends`` are parallel arrays of non-overlapping,
+    start-sorted ``[start, end)`` service intervals (bank service is
+    serial, so recording order is already sorted).
+    """
+    i = bisect_right(starts, cycle) - 1
+    return i >= 0 and cycle < ends[i]
+
+
+class AccuracySummary:
+    """Aggregated prediction outcomes for one estimator."""
+
+    __slots__ = (
+        "estimator", "samples", "correct",
+        "over_predictions", "under_predictions",
+    )
+
+    def __init__(self, estimator: str):
+        self.estimator = estimator
+        self.samples = 0
+        self.correct = 0
+        self.over_predictions = 0
+        self.under_predictions = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.samples if self.samples else 0.0
+
+    def add(self, predicted_busy: bool, actually_busy: bool) -> None:
+        self.samples += 1
+        if predicted_busy == actually_busy:
+            self.correct += 1
+        elif predicted_busy:
+            self.over_predictions += 1
+        else:
+            self.under_predictions += 1
+
+    def as_dict(self) -> Dict:
+        return {
+            "estimator": self.estimator,
+            "samples": self.samples,
+            "correct": self.correct,
+            "over_predictions": self.over_predictions,
+            "under_predictions": self.under_predictions,
+            "accuracy": self.accuracy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccuracySummary({self.estimator}: {self.correct}/"
+            f"{self.samples}, over={self.over_predictions}, "
+            f"under={self.under_predictions})"
+        )
+
+
+def resolve_predictions(
+    predictions: Iterable[Prediction],
+    intervals_by_bank: Mapping[int, Sequence[Interval]],
+    estimator: str = "none",
+    horizon: Optional[int] = None,
+) -> AccuracySummary:
+    """Join predictions against ground-truth bank service intervals.
+
+    ``horizon`` (when given) drops predictions whose arrival cycle lies
+    at or beyond it: the bank's true state there is not yet known (the
+    run ended first), so counting them would bias toward "idle".
+    """
+    summary = AccuracySummary(estimator)
+    # Split the interval lists once per bank for bisection.
+    split: Dict[int, Tuple[List[int], List[int]]] = {}
+    for bank, ivals in intervals_by_bank.items():
+        split[bank] = (
+            [iv[0] for iv in ivals], [iv[1] for iv in ivals],
+        )
+    empty: Tuple[List[int], List[int]] = ([], [])
+    for bank, arrival, predicted in predictions:
+        if horizon is not None and arrival >= horizon:
+            continue
+        starts, ends = split.get(bank, empty)
+        summary.add(predicted, busy_at(starts, ends, arrival))
+    return summary
+
+
+def per_bank_busy_fraction(
+    intervals_by_bank: Mapping[int, Sequence[Interval]],
+    start: int,
+    end: int,
+) -> Dict[int, float]:
+    """Fraction of ``[start, end)`` each bank spent in service."""
+    span = max(1, end - start)
+    out: Dict[int, float] = {}
+    for bank, ivals in intervals_by_bank.items():
+        busy = 0
+        for s, e in ivals:
+            lo = max(s, start)
+            hi = min(e, end)
+            if hi > lo:
+                busy += hi - lo
+        out[bank] = busy / span
+    return out

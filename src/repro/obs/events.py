@@ -1,0 +1,126 @@
+"""Structured event model for the observability layer.
+
+Every instrumented component (network, banks, arbiter, estimators,
+scheduler) emits *typed lifecycle events* through a single callable --
+the :class:`~repro.obs.observability.Observability` facade's ``emit`` --
+when (and only when) an observability session is attached.  The guard
+pattern at every emission site is::
+
+    trace = self.trace          # None when observability is detached
+    if trace is not None:
+        trace(now, EV_PKT_FORWARD, {"pid": pkt.pid, ...})
+
+so a disabled run pays one attribute load and an ``is None`` test per
+site, nothing else: no event objects, no dict allocation, no sink calls.
+
+Event kinds are plain interned strings (cheap identity comparison, JSON
+friendly); the authoritative field list per kind lives in
+:mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# -- packet lifecycle ---------------------------------------------------
+#: a packet entered its source NI queue
+EV_PKT_INJECT = "pkt.inject"
+#: a router forwarded a packet over an inter-router link
+EV_PKT_FORWARD = "pkt.forward"
+#: a packet was ejected at its destination's local port
+EV_PKT_DELIVER = "pkt.deliver"
+
+# -- bank service lifecycle ---------------------------------------------
+#: a bank began servicing an operation (read/write/fill/drain/migrate)
+EV_BANK_START = "bank.service_start"
+#: the bank finished (or a read preempted) that operation
+EV_BANK_END = "bank.service_end"
+
+# -- paper mechanism ----------------------------------------------------
+#: a parent router's busy-duration prediction for a forwarded request
+EV_EST_PREDICT = "est.predict"
+#: a congestion estimator absorbed feedback (WB ack round trip)
+EV_EST_UPDATE = "est.update"
+#: the bank-aware arbiter delayed >= 1 candidate and granted another
+EV_ARB_REORDER = "arb.reorder"
+#: two request packets shared one region-TSB traversal slot
+EV_TSB_COMBINE = "tsb.combine"
+
+# -- event scheduler ----------------------------------------------------
+#: the event scheduler executed one cycle (event scheduler only)
+EV_SCHED_EXEC = "sched.exec"
+#: the event scheduler skipped a provably-idle cycle range
+EV_SCHED_SKIP = "sched.skip"
+
+#: Every event kind, in taxonomy order.
+ALL_KINDS = (
+    EV_PKT_INJECT, EV_PKT_FORWARD, EV_PKT_DELIVER,
+    EV_BANK_START, EV_BANK_END,
+    EV_EST_PREDICT, EV_EST_UPDATE, EV_ARB_REORDER, EV_TSB_COMBINE,
+    EV_SCHED_EXEC, EV_SCHED_SKIP,
+)
+
+#: Kinds that describe scheduler bookkeeping rather than simulated
+#: behaviour.  The dense and event schedulers are observationally
+#: identical *modulo these*: equivalence checks must filter them out.
+SCHEDULER_KINDS = frozenset((EV_SCHED_EXEC, EV_SCHED_SKIP))
+
+
+class Event:
+    """One recorded event: ``(cycle, kind, data)``.
+
+    Kept as a tiny slotted object rather than a dict so in-memory traces
+    of a few hundred thousand events stay compact and hashable-by-id.
+    """
+
+    __slots__ = ("cycle", "kind", "data")
+
+    def __init__(self, cycle: int, kind: str, data: Dict):
+        self.cycle = cycle
+        self.kind = kind
+        self.data = data
+
+    def as_dict(self) -> Dict:
+        """JSONL row: cycle and kind first, then the payload fields."""
+        row = {"cycle": self.cycle, "kind": self.kind}
+        row.update(self.data)
+        return row
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Event)
+            and self.cycle == other.cycle
+            and self.kind == other.kind
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.cycle}, {self.kind!r}, {self.data!r})"
+
+
+class InMemorySink:
+    """Buffers every event as an :class:`Event`; consumed by tests and
+    the analysis/report modules."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def on_event(self, cycle: int, kind: str, data: Dict) -> None:
+        self.events.append(Event(cycle, kind, data))
+
+    def close(self) -> None:
+        """Nothing to flush; kept for sink-protocol uniformity."""
+
+    # -- query helpers ---------------------------------------------------
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)

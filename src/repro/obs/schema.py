@@ -1,0 +1,167 @@
+"""Event schema: the authoritative field contract per event kind.
+
+Every event emitted through the bus must carry exactly the fields its
+kind declares here (plus the envelope's ``cycle`` and ``kind``).  The
+schema is enforced three ways:
+
+* unit tests validate every event of an instrumented run,
+* ``repro.cli trace --validate`` re-reads the JSONL it wrote and fails
+  on any violation (the CI trace-smoke job runs this), and
+* downstream consumers (the Chrome exporter, the report renderer) may
+  rely on declared fields existing without defensive ``get`` chains.
+
+Types are given as Python type tuples; ``NoneType`` membership marks a
+nullable field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.events import (
+    ALL_KINDS, EV_ARB_REORDER, EV_BANK_END, EV_BANK_START, EV_EST_PREDICT,
+    EV_EST_UPDATE, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
+    EV_SCHED_EXEC, EV_SCHED_SKIP, EV_TSB_COMBINE,
+)
+
+_NONE = type(None)
+
+#: kind -> {field: allowed types}
+EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    EV_PKT_INJECT: {
+        "pid": (int,),
+        "klass": (str,),
+        "src": (int,),
+        "dst": (int,),
+        "flits": (int,),
+        "is_write": (bool,),
+        "bank": (int, _NONE),
+    },
+    EV_PKT_FORWARD: {
+        "pid": (int,),
+        "klass": (str,),
+        "node": (int,),
+        "port": (int,),
+        "flits": (int,),
+        "bank": (int, _NONE),
+    },
+    EV_PKT_DELIVER: {
+        "pid": (int,),
+        "klass": (str,),
+        "src": (int,),
+        "dst": (int,),
+        "bank": (int, _NONE),
+        "inject_cycle": (int,),
+        "latency": (int,),
+        "hops": (int,),
+        "delayed_cycles": (int,),
+    },
+    EV_BANK_START: {
+        "bank": (int,),
+        "op": (str,),
+        "service": (int,),
+        "queue_depth": (int,),
+    },
+    EV_BANK_END: {
+        "bank": (int,),
+        "op": (str,),
+        "preempted": (bool,),
+    },
+    EV_EST_PREDICT: {
+        "node": (int,),
+        "bank": (int,),
+        "estimate": (int,),
+        "arrival": (int,),
+        "predicted_busy": (bool,),
+    },
+    EV_EST_UPDATE: {
+        "node": (int,),
+        "bank": (int,),
+        "estimate": (int,),
+        "elapsed": (int,),
+    },
+    EV_ARB_REORDER: {
+        "node": (int,),
+        "port": (int,),
+        "delayed": (int,),
+        "granted_pid": (int,),
+    },
+    EV_TSB_COMBINE: {
+        "node": (int,),
+        "port": (int,),
+        "pid": (int,),
+    },
+    EV_SCHED_EXEC: {},
+    EV_SCHED_SKIP: {
+        "start": (int,),
+        "span": (int,),
+    },
+}
+
+assert set(EVENT_SCHEMA) == set(ALL_KINDS)
+
+#: Envelope fields present on every JSONL row.
+ENVELOPE = {"cycle": (int,), "kind": (str,)}
+
+
+def validate_event(row: Dict) -> List[str]:
+    """Schema violations of one event row (empty list when valid).
+
+    ``row`` is the JSONL form: envelope fields plus the kind's payload.
+    """
+    errors: List[str] = []
+    for name, types in ENVELOPE.items():
+        if name not in row:
+            return [f"missing envelope field {name!r}"]
+        if not isinstance(row[name], types) or isinstance(row[name], bool):
+            errors.append(f"envelope field {name!r} has wrong type")
+    kind = row.get("kind")
+    fields = EVENT_SCHEMA.get(kind)
+    if fields is None:
+        return errors + [f"unknown event kind {kind!r}"]
+    payload = {k: v for k, v in row.items() if k not in ENVELOPE}
+    for name, types in fields.items():
+        if name not in payload:
+            errors.append(f"{kind}: missing field {name!r}")
+            continue
+        value = payload.pop(name)
+        # bool is an int subclass: only accept it where declared.
+        if isinstance(value, bool) and bool not in types:
+            errors.append(f"{kind}: field {name!r} must not be bool")
+        elif not isinstance(value, types):
+            errors.append(
+                f"{kind}: field {name!r} is {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    for name in payload:
+        errors.append(f"{kind}: undeclared field {name!r}")
+    return errors
+
+
+def validate_jsonl(path: str, max_errors: int = 20) -> Tuple[int, List[str]]:
+    """Validate a JSONL event log; returns (rows checked, errors).
+
+    Stops accumulating after ``max_errors`` messages so a systematically
+    broken file does not produce megabytes of diagnostics.
+    """
+    errors: List[str] = []
+    rows = 0
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rows += 1
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+            else:
+                errors.extend(
+                    f"line {lineno}: {msg}" for msg in validate_event(row)
+                )
+            if len(errors) >= max_errors:
+                errors.append("... (further errors suppressed)")
+                break
+    return rows, errors

@@ -1,0 +1,168 @@
+"""Event sinks: JSONL export and Chrome-trace (Perfetto) timelines.
+
+The in-memory sink lives in :mod:`repro.obs.events`; this module holds
+the file-producing sinks:
+
+* :class:`JSONLSink` -- one JSON object per line, schema-checked by
+  :func:`repro.obs.schema.validate_jsonl`; the stable machine-readable
+  export.
+* :class:`ChromeTraceSink` -- the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: bank service
+  operations become duration slices on one track per bank, delivered
+  packets become slices on one track per packet class, and scheduler
+  skips become slices on a scheduler track.  One simulated cycle maps
+  to one microsecond of trace time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.events import (
+    EV_BANK_END, EV_BANK_START, EV_PKT_DELIVER, EV_SCHED_SKIP,
+)
+
+
+class JSONLSink:
+    """Streams events to ``path`` as JSON Lines."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w", encoding="ascii")
+        self.events_written = 0
+
+    def on_event(self, cycle: int, kind: str, data: Dict) -> None:
+        row = {"cycle": cycle, "kind": kind}
+        row.update(data)
+        self._fh.write(json.dumps(row, sort_keys=True))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+#: Synthetic process ids for the Chrome-trace tracks.
+_PID_PACKETS = 1
+_PID_BANKS = 2
+_PID_SCHED = 3
+
+
+class ChromeTraceSink:
+    """Builds a Trace Event Format document from the event stream.
+
+    Only timeline-shaped events are materialised (delivered packets,
+    completed bank operations, scheduler skips); counter-shaped events
+    are better served by the JSONL export and the epoch sampler.
+    """
+
+    def __init__(self, clock_label: str = "cycles"):
+        self.clock_label = clock_label
+        self._events: List[Dict] = []
+        #: bank -> (service_start_cycle, op kind) for the open slice
+        self._open_banks: Dict[int, tuple] = {}
+        self._class_tracks: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def on_event(self, cycle: int, kind: str, data: Dict) -> None:
+        if kind is EV_PKT_DELIVER or kind == EV_PKT_DELIVER:
+            self._on_deliver(cycle, data)
+        elif kind == EV_BANK_START:
+            self._open_banks[data["bank"]] = (cycle, data["op"])
+        elif kind == EV_BANK_END:
+            self._on_bank_end(cycle, data)
+        elif kind == EV_SCHED_SKIP:
+            self._events.append({
+                "name": "skip",
+                "ph": "X",
+                "pid": _PID_SCHED,
+                "tid": 0,
+                "ts": data["start"],
+                "dur": data["span"],
+                "args": {"span": data["span"]},
+            })
+
+    def _on_deliver(self, cycle: int, data: Dict) -> None:
+        klass = data["klass"]
+        tid = self._class_tracks.setdefault(klass, len(self._class_tracks))
+        inject = data["inject_cycle"]
+        self._events.append({
+            "name": f"{klass} {data['src']}->{data['dst']}",
+            "ph": "X",
+            "pid": _PID_PACKETS,
+            "tid": tid,
+            "ts": inject,
+            "dur": max(1, cycle - inject),
+            "args": {
+                "pid": data["pid"],
+                "bank": data.get("bank"),
+                "hops": data.get("hops"),
+                "delayed_cycles": data.get("delayed_cycles"),
+            },
+        })
+
+    def _on_bank_end(self, cycle: int, data: Dict) -> None:
+        bank = data["bank"]
+        opened = self._open_banks.pop(bank, None)
+        if opened is None:
+            return  # end without a recorded start (trace began mid-op)
+        start, op = opened
+        self._events.append({
+            "name": op,
+            "ph": "X",
+            "pid": _PID_BANKS,
+            "tid": bank,
+            "ts": start,
+            "dur": max(1, cycle - start),
+            "args": {"bank": bank, "op": op, "preempted":
+                     bool(data.get("preempted", False))},
+        })
+
+    # ------------------------------------------------------------------
+
+    def document(self) -> Dict:
+        """The complete Trace Event Format document."""
+        meta: List[Dict] = [
+            self._process_name(_PID_PACKETS, "packets"),
+            self._process_name(_PID_BANKS, "banks"),
+            self._process_name(_PID_SCHED, "scheduler"),
+        ]
+        for klass, tid in sorted(self._class_tracks.items(),
+                                 key=lambda kv: kv[1]):
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_PACKETS,
+                "tid": tid,
+                "args": {"name": klass},
+            })
+        return {
+            "traceEvents": meta + self._events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": self.clock_label,
+                          "note": "1 trace us == 1 simulated cycle"},
+        }
+
+    @staticmethod
+    def _process_name(pid: int, name: str) -> Dict:
+        return {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as fh:
+            json.dump(self.document(), fh)
+            fh.write("\n")
+
+    def close(self) -> None:
+        """Nothing held open; files are written explicitly."""
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.noc.packet import PacketClass
+from repro.obs.accuracy import resolve_predictions
 from repro.sim import metrics
 
 
@@ -45,6 +46,15 @@ class SimulationResult:
     l1_misses: int
     writebacks: int
     stall_cycles: int
+
+    # tail latencies (nearest-rank percentiles of the NI-to-NI latency
+    # distribution; see repro.obs.metrics.percentiles_from_hist)
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    #: busy-prediction accuracy of the active estimator (SS/RCA/WB):
+    #: AccuracySummary.as_dict() payload, or None without an estimator
+    estimator_accuracy: Optional[Dict] = None
 
     energy: Optional[EnergyBreakdown] = None
     extras: Dict[str, float] = field(default_factory=dict)
@@ -93,6 +103,19 @@ class SimulationResult:
         miss_lat_sum = sum(c.stats.miss_latency_sum for c in sim.cores)
         miss_lat_n = sum(c.stats.miss_latency_samples for c in sim.cores)
 
+        percentiles = net.latency_percentiles()
+        accuracy = None
+        if sim.tracker is not None and sim.estimator is not None:
+            # Predictions whose arrival lies past the end of the run are
+            # unresolvable (horizon) and dropped identically under both
+            # schedulers, keeping this field scheduler-invariant.
+            accuracy = resolve_predictions(
+                sim.tracker.predictions,
+                {b.bank: b.stats.service_intervals for b in sim.banks},
+                estimator=sim.estimator.name,
+                horizon=sim.cycle,
+            ).as_dict()
+
         return cls(
             cycles=cycles,
             instructions=instructions,
@@ -125,6 +148,10 @@ class SimulationResult:
             l1_misses=sum(c.stats.l1_misses for c in sim.cores),
             writebacks=sum(c.stats.writebacks for c in sim.cores),
             stall_cycles=sum(c.stats.stall_cycles for c in sim.cores),
+            latency_p50=percentiles[50.0],
+            latency_p95=percentiles[95.0],
+            latency_p99=percentiles[99.0],
+            estimator_accuracy=accuracy,
             energy=energy,
         )
 
@@ -179,6 +206,10 @@ class SimulationResult:
             "slowest_ipc": self.slowest_ipc(),
             "ipc_by_app": self.ipc_by_app(),
             "avg_packet_latency": self.avg_packet_latency,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "estimator_accuracy": self.estimator_accuracy,
             "avg_request_latency": self.avg_request_latency,
             "avg_bank_queue_wait": self.avg_bank_queue_wait,
             "avg_miss_latency": self.avg_miss_latency,

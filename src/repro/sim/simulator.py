@@ -32,6 +32,7 @@ from repro.noc.router import NEVER
 from repro.noc.packet import Packet, PacketClass
 from repro.noc.routing import RoutingPolicy
 from repro.noc.topology import Mesh3D
+from repro.obs.events import EV_SCHED_SKIP
 from repro.sim.config import Estimator, SystemConfig
 from repro.sim.results import SimulationResult
 from repro.workloads.mixes import Workload
@@ -55,6 +56,9 @@ class CMPSimulator:
         self.config = config
         self.workload = workload
         self.cycle = 0
+        #: attached Observability session (repro.obs), or None -- the
+        #: simulator never reads it except at scheduling/run boundaries
+        self._obs = None
 
         self.topo = Mesh3D(config.mesh_width)
         self.region_map = build_region_map(config, self.topo)
@@ -312,6 +316,9 @@ class CMPSimulator:
         and skipping provably-idle cycles.
         """
         now = self.cycle
+        obs = self._obs
+        if obs is not None:
+            obs.on_cycle(now)
         self.network.step(now)
         for mc in self.mcs:
             mc.step(now)
@@ -441,12 +448,19 @@ class CMPSimulator:
         if n_cycles <= 0:
             return
         limit = self.cycle + n_cycles
+        obs = self._obs
         while self.cycle < limit:
             now = self.cycle
+            if obs is not None:
+                obs.on_executed_cycle(now)
             self._event_step(now)
             self.executed_cycles += 1
             nxt = self._next_event(now)
             self.cycle = nxt if nxt < limit else limit
+            if obs is not None and self.cycle > now + 1:
+                obs.emit(now, EV_SCHED_SKIP, {
+                    "start": now + 1, "span": self.cycle - now - 1,
+                })
         self._flush_lazy()
 
     # -- measurement ----------------------------------------------------
@@ -463,6 +477,8 @@ class CMPSimulator:
             start_cycle = self.cycle
             self._reset_measurement_stats()
             self._run_event(cycles)
+            if self._obs is not None:
+                self._obs.on_run_end(self)
             return SimulationResult.collect(
                 self, start_cycle, committed_at_start,
             )
@@ -473,6 +489,8 @@ class CMPSimulator:
         self._reset_measurement_stats()
         for _ in range(cycles):
             self.step()
+        if self._obs is not None:
+            self._obs.on_run_end(self)
         return SimulationResult.collect(
             self, start_cycle, committed_at_start,
         )
@@ -486,6 +504,13 @@ class CMPSimulator:
             bank.stats = BankStats()
             if bank.log_accesses:
                 bank.access_log = []
+        if self.tracker is not None:
+            # Predictions resolve against the (freshly reset) bank
+            # service-interval logs: drop warm-up-era rows so the
+            # accuracy summary covers the measurement window only.
+            self.tracker.predictions = []
+        if self._obs is not None:
+            self._obs.on_measurement_start(self)
 
     # ------------------------------------------------------------------
 
@@ -514,8 +539,11 @@ class CMPSimulator:
     def _drain_event(self, max_cycles: int, min_cycles: int) -> bool:
         end = self.cycle + max_cycles
         executed = 0
+        obs = self._obs
         while self.cycle < end:
             now = self.cycle
+            if obs is not None:
+                obs.on_executed_cycle(now)
             self._event_step(now)
             executed += 1
             self.cycle = now + 1
@@ -528,6 +556,11 @@ class CMPSimulator:
                 nxt = self._next_event(now)
                 if nxt > self.cycle:
                     self.cycle = nxt if nxt < end else end
+                    if obs is not None and self.cycle > now + 1:
+                        obs.emit(now, EV_SCHED_SKIP, {
+                            "start": now + 1,
+                            "span": self.cycle - now - 1,
+                        })
         self._flush_lazy()
         return False
 
