@@ -1,0 +1,50 @@
+"""Smoke test + gate for the sweep-throughput benchmark.
+
+Wall-clock points/sec is machine-dependent (cold-cache parallel
+speedup is bounded by physical cores, recorded as ``host_cpus``), so
+the hard gates here are the machine-independent ones: the three
+execution modes must agree byte-for-byte, the warm replay must be a
+100% cache hit, and serving cached points must beat re-simulating by
+a wide margin on any host.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.perf import SWEEP_WARM_FLOOR, run_sweep_throughput
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    # Full default window: small enough for CI, large enough that the
+    # one-off process-pool spawn cost does not dominate the cold run.
+    return run_sweep_throughput()
+
+
+def test_modes_are_byte_identical(sweep_report):
+    assert sweep_report["identical_results"] is True
+
+
+def test_warm_replay_is_pure_cache(sweep_report):
+    assert sweep_report["warm_hit_rate"] == 1.0
+
+
+def test_warm_cache_beats_simulation(sweep_report):
+    assert sweep_report["warm_speedup"] >= SWEEP_WARM_FLOOR, (
+        f"warm-cache replay only {sweep_report['warm_speedup']:.1f}x "
+        f"over serial simulation"
+    )
+
+
+def test_cold_parallel_not_pathological(sweep_report):
+    # On a single-CPU host the pool cannot beat serial; it must not
+    # collapse either.  Multi-core hosts are expected to scale.
+    floor = 0.5 if (os.cpu_count() or 1) < 2 else 1.0
+    assert sweep_report["cold_speedup"] >= floor
+
+
+def test_report_records_host_context(sweep_report):
+    assert sweep_report["host_cpus"] == os.cpu_count()
+    assert sweep_report["points"] == 6
+    assert sweep_report["workers"] == 4

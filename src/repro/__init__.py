@@ -18,9 +18,10 @@ Quickstart::
 
 from repro.sim import (
     ALL_SCHEMES, CacheTechnology, CMPSimulator, Estimator, Scheme,
-    SchemeComparison, SimulationResult, SystemConfig, TSBPlacement,
-    WriteBufferConfig, app_factory, compare_schemes, instruction_throughput,
-    make_config, max_slowdown, run_scheme, run_workload, weighted_speedup,
+    SchemeComparison, SimulationResult, SweepGrid, SweepPoint,
+    SweepResults, SystemConfig, TSBPlacement, WriteBufferConfig,
+    app_factory, compare_schemes, instruction_throughput, make_config,
+    max_slowdown, run_scheme, run_sweep, run_workload, weighted_speedup,
     with_extra_vc, with_write_buffer,
 )
 from repro.workloads import (
@@ -37,6 +38,7 @@ __all__ = [
     "SimulationResult", "SchemeComparison", "compare_schemes",
     "run_scheme", "run_workload", "app_factory",
     "instruction_throughput", "weighted_speedup", "max_slowdown",
+    "SweepGrid", "SweepPoint", "SweepResults", "run_sweep",
     "BenchmarkSpec", "get_benchmark", "suite_benchmarks",
     "all_benchmarks", "Workload", "homogeneous", "mix", "case1", "case2",
     "case3_mixes", "__version__",

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro table3
     python -m repro fig3 --app tpcc
     python -m repro perf --out BENCH_perf.json
+    python -m repro sweep --apps tpcc,mcf --workers 4 --out sweep.json
     python -m repro trace --app tpcc --out trace.jsonl --chrome trace.json
     python -m repro report --app tpcc
     python -m repro list
@@ -93,6 +94,37 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--warmup", type=int, default=None)
     perf_p.add_argument("--repeats", type=_positive_int, default=None)
     perf_p.add_argument("--seed", type=int, default=1)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run an apps x schemes grid (parallel + cached)")
+    sweep_p.add_argument("--apps", required=True, metavar="A,B,...",
+                         help="comma-separated application list")
+    sweep_p.add_argument("--schemes", default=None, metavar="S,T,...",
+                         help="comma-separated scheme labels "
+                              "(default: all six)")
+    sweep_p.add_argument("--workers", type=int, default=0,
+                         help="process-pool size; 0 = one per CPU, "
+                              "1 = serial (default: 0)")
+    sweep_p.add_argument("--cache", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="serve unchanged points from the "
+                              "content-addressed result cache")
+    sweep_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default: "
+                              "~/.cache/repro-sweeps or "
+                              "$REPRO_SWEEP_CACHE_DIR)")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-point wall-clock budget")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print each point as it completes")
+    sweep_p.add_argument("--out", default=None, metavar="PATH",
+                         help="write the sweep results JSON")
+    sweep_p.add_argument("--expect-min-hits", type=float, default=None,
+                         metavar="FRACTION",
+                         help="exit nonzero when the cache hit rate "
+                              "falls below this fraction (CI gate)")
+    _add_common(sweep_p)
 
     trace_p = sub.add_parser(
         "trace", help="run one scheme with event tracing enabled")
@@ -223,6 +255,67 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sim.parallel import SweepRunStats, resolve_workers
+    from repro.sim.sweep import SweepGrid, run_sweep
+
+    apps = [a for a in args.apps.split(",") if a]
+    if args.schemes:
+        try:
+            schemes = tuple(
+                _SCHEME_BY_NAME[s] for s in args.schemes.split(",") if s
+            )
+        except KeyError as exc:
+            print(f"unknown scheme {exc.args[0]!r}; choose from "
+                  f"{', '.join(sorted(_SCHEME_BY_NAME))}", file=sys.stderr)
+            return 2
+    else:
+        schemes = ALL_SCHEMES
+
+    grid = SweepGrid(apps=apps, schemes=schemes, cycles=args.cycles,
+                     warmup=args.warmup, seed=args.seed,
+                     overrides=_overrides(args))
+    progress = None
+    if args.progress:
+        progress = lambda app, scheme: print(f"  done {app}/{scheme.value}")
+    stats = SweepRunStats()
+    sweep = run_sweep(
+        grid, progress, workers=args.workers, cache=args.cache,
+        cache_dir=args.cache_dir, timeout=args.timeout, stats=stats,
+    )
+
+    throughput = sweep.normalized("instruction_throughput",
+                                  baseline=Scheme.SRAM_64TSB.value)
+    rows = [
+        [app] + [round(throughput[app][s], 3) for s in sweep.schemes()]
+        for app in sweep.apps()
+    ]
+    print(format_table(["app"] + sweep.schemes(), rows,
+                       title="throughput normalised to SRAM-64TSB"))
+    print(
+        f"{stats.points} points in {stats.wall_seconds:.2f}s "
+        f"({stats.points_per_sec:.2f} points/sec) -- "
+        f"workers={resolve_workers(args.workers)} "
+        f"hits={stats.cache_hits} misses={stats.cache_misses} "
+        f"simulated={stats.simulated} retried={stats.retried} "
+        f"utilization={stats.utilization:.0%}"
+    )
+    if args.out:
+        sweep.save(args.out)
+        print(f"wrote {args.out}")
+    if args.expect_min_hits is not None:
+        if stats.hit_rate < args.expect_min_hits:
+            print(
+                f"CACHE MISS RATE TOO HIGH: hit rate {stats.hit_rate:.0%}"
+                f" < required {args.expect_min_hits:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"cache hit rate {stats.hit_rate:.0%} >= "
+              f"{args.expect_min_hits:.0%}")
+    return 0
+
+
 def _instrumented_run(args, obs):
     """Build, attach and run one instrumented simulation."""
     from repro.noc.packet import reset_packet_ids
@@ -301,6 +394,7 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "fig3": _cmd_fig3,
     "perf": _cmd_perf,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "report": _cmd_report,
     "list": _cmd_list,

@@ -12,6 +12,10 @@ from repro.sim.experiment import (
 from repro.sim.metrics import (
     instruction_throughput, max_slowdown, slowdowns, weighted_speedup,
 )
+from repro.sim.parallel import (
+    SweepCache, SweepPoint, SweepRunStats, code_version,
+    default_cache_dir, run_points,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import CMPSimulator
 from repro.sim.sweep import SweepGrid, SweepResults, run_sweep
@@ -41,5 +45,6 @@ __all__ = [
     "run_scheme", "run_workload", "app_factory",
     "instruction_throughput", "weighted_speedup", "max_slowdown",
     "slowdowns", "SweepGrid", "SweepResults", "run_sweep",
-    "reset_state",
+    "SweepPoint", "SweepCache", "SweepRunStats", "run_points",
+    "code_version", "default_cache_dir", "reset_state",
 ]

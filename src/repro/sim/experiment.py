@@ -97,11 +97,25 @@ def compare_schemes(
     return SchemeComparison(workload_name, results, baseline=baseline)
 
 
+@dataclass(frozen=True)
+class HomogeneousWorkloadFactory:
+    """Picklable workload factory for a homogeneous run of one app.
+
+    A named top-level class rather than a closure so grid points can be
+    shipped to process-pool workers (closures do not pickle).
+    """
+
+    app: str
+    seed: int = 1
+
+    def __call__(self, config: SystemConfig) -> Workload:
+        return homogeneous(self.app, config, seed=self.seed)
+
+    @property
+    def __name__(self) -> str:  # parity with plain-function factories
+        return f"homogeneous_{self.app}"
+
+
 def app_factory(app: str, seed: int = 1) -> WorkloadFactory:
     """Workload factory for a homogeneous run of one application."""
-
-    def factory(config: SystemConfig) -> Workload:
-        return homogeneous(app, config, seed=seed)
-
-    factory.__name__ = f"homogeneous_{app}"
-    return factory
+    return HomogeneousWorkloadFactory(app, seed)

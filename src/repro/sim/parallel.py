@@ -1,0 +1,490 @@
+"""Parallel sweep engine: process-pool fan-out with result caching.
+
+Every figure in the paper is a grid -- apps x schemes x seeds
+normalised to the SRAM-64TSB baseline -- and the grid points are
+embarrassingly parallel: each one builds its own config, workload and
+simulator and returns a JSON summary.  This module shards grid points
+across a :class:`concurrent.futures.ProcessPoolExecutor` and layers a
+content-addressed on-disk result cache underneath, so re-running a
+sweep only simulates the points whose inputs actually changed.
+
+Design contract (tested in ``tests/test_parallel_sweep.py``):
+
+* **Determinism** -- each point simulates from a fully reset process
+  state (``repro.sim.reset_state``), so its summary depends only on its
+  own spec.  ``SweepResults.data`` is therefore byte-identical across
+  ``workers=1``, ``workers=N`` and warm-cache replay, independent of
+  worker count or completion order.
+* **Content addressing** -- a cache entry is keyed by the SHA-256 of
+  the canonical point spec (app, scheme, cycles, warmup, seed, sorted
+  config overrides) plus a code-version tag derived from the package
+  sources.  Changing any input -- or the simulator code itself --
+  changes the key and forces re-simulation; nothing is ever
+  invalidated in place.
+* **Fault tolerance** -- a corrupted cache entry is discarded and
+  re-simulated; a crashed or timed-out worker chunk is retried once
+  serially in the parent before the sweep fails.
+
+The engine reports progress and utilisation through the existing
+:class:`repro.obs.metrics.MetricsRegistry` (``sweep.*`` metrics) and is
+exposed on the command line as ``python -m repro.cli sweep``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.config import Scheme
+
+#: Bumped when the cached payload layout (not the simulated content)
+#: changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_SWEEP_CACHE_DIR``, else ``$XDG_CACHE_HOME`` or
+    ``~/.cache``, plus ``repro-sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-sweeps")
+
+
+# ----------------------------------------------------------------------
+# Code-version tag
+# ----------------------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Stable tag of the simulator sources that produced a result.
+
+    A SHA-256 over every ``.py`` file in the installed ``repro``
+    package (path-sorted, path+content hashed) truncated to 16 hex
+    digits, combined with :data:`CACHE_SCHEMA_VERSION`.  Any source
+    edit changes the tag, so stale cache entries simply stop being
+    addressed rather than needing explicit invalidation.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _CODE_VERSION = (
+            f"v{CACHE_SCHEMA_VERSION}-{digest.hexdigest()[:16]}"
+        )
+    return _CODE_VERSION
+
+
+# ----------------------------------------------------------------------
+# Point specs
+# ----------------------------------------------------------------------
+
+
+def _json_safe(value):
+    """Canonical JSON-compatible form of a config-override value."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise ConfigError(
+        f"override value {value!r} is not cacheable; use scalars or enums"
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One self-contained, picklable grid point.
+
+    Carries everything a worker process needs to reproduce the
+    simulation: nothing is closed over, nothing depends on the parent
+    process state.
+    """
+
+    app: str
+    scheme: Scheme
+    cycles: int
+    warmup: int
+    seed: int
+    #: Sorted ``(name, value)`` pairs of ``make_config`` overrides.
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def build(cls, app: str, scheme: Scheme, cycles: int, warmup: int,
+              seed: int, overrides: Optional[Dict] = None) -> "SweepPoint":
+        items = tuple(sorted((overrides or {}).items()))
+        return cls(app=app, scheme=scheme, cycles=cycles, warmup=warmup,
+                   seed=seed, overrides=items)
+
+    def overrides_dict(self) -> Dict:
+        return dict(self.overrides)
+
+    def canonical(self) -> Dict:
+        """JSON-stable spec used for hashing and cache payloads."""
+        return {
+            "app": self.app,
+            "scheme": self.scheme.value,
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "overrides": {
+                name: _json_safe(value) for name, value in self.overrides
+            },
+        }
+
+    def key(self, version: Optional[str] = None) -> str:
+        """Content address of this point under one code version."""
+        payload = {
+            "spec": self.canonical(),
+            "version": version if version is not None else code_version(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.app}/{self.scheme.value}/seed{self.seed}"
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+
+
+class SweepCache:
+    """Content-addressed store of point summaries.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` holding
+    ``{"key", "version", "spec", "result"}``.  Writes are atomic
+    (temp file + ``os.replace``); reads that fail to parse or fail the
+    self-check are treated as misses and the entry is discarded.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 version: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.version = version if version is not None else code_version()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached summary for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                payload = json.load(fh)
+            if payload["key"] != key or payload["version"] != self.version:
+                raise ValueError("cache entry self-check failed")
+            result = payload["result"]
+            if not isinstance(result, dict):
+                raise ValueError("cache entry has no result dict")
+            return result
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._discard(path)
+            return None
+
+    def put(self, key: str, spec: Dict, result: Dict) -> None:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "key": key,
+            "version": self.version,
+            "spec": spec,
+            "result": result,
+        }
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="ascii") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _discard(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def simulate_point(spec: SweepPoint) -> Dict:
+    """Simulate one grid point from a clean process-global state.
+
+    Top-level (hence picklable under the ``spawn`` start method) and
+    hermetic: the result depends only on ``spec``, never on what ran
+    earlier in the process.
+    """
+    from repro.sim import reset_state
+    from repro.sim.experiment import app_factory, run_scheme
+
+    reset_state()
+    result = run_scheme(
+        spec.scheme, app_factory(spec.app, seed=spec.seed),
+        cycles=spec.cycles, warmup=spec.warmup, **spec.overrides_dict(),
+    )
+    return result.to_dict()
+
+
+def _simulate_chunk(specs: Sequence[SweepPoint]) -> List[Dict]:
+    """Worker entry point: one IPC round-trip covers a chunk of points."""
+    out = []
+    for spec in specs:
+        t0 = time.perf_counter()
+        result = simulate_point(spec)
+        out.append({
+            "result": result,
+            "wall_ms": (time.perf_counter() - t0) * 1e3,
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+ProgressFn = Callable[[str, Scheme], None]
+
+
+@dataclass
+class SweepRunStats:
+    """Execution counters of one engine run (also mirrored into the
+    metrics registry as ``sweep.*``)."""
+
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    retried: int = 0
+    worker_crashes: int = 0
+    workers: int = 1
+    chunks: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.points / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.points if self.points else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Worker busy time over worker capacity for the run."""
+        capacity = self.workers * self.wall_seconds
+        return self.busy_seconds / capacity if capacity else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "retried": self.retried,
+            "worker_crashes": self.worker_crashes,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "wall_seconds": self.wall_seconds,
+            "points_per_sec": self.points_per_sec,
+            "hit_rate": self.hit_rate,
+            "utilization": self.utilization,
+        }
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request against the host.
+
+    ``None``/``0`` means one worker per CPU.  Platforms without any
+    usable multiprocessing start method degrade to serial.
+    """
+    if workers is None or workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if workers > 1 and not multiprocessing.get_all_start_methods():
+        return 1  # pragma: no cover - exotic platform fallback
+    return workers
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, inherits warm imports); fall back to
+    the platform default (``spawn``) where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _chunked(items: Sequence, size: int) -> List[Tuple]:
+    return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def run_points(
+    specs: Sequence[SweepPoint],
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+    timeout: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    stats: Optional[SweepRunStats] = None,
+) -> Dict[str, Dict]:
+    """Resolve every spec to a summary dict, keyed by content address.
+
+    Cached points are served from disk; the rest fan out across a
+    process pool (``workers > 1``) or run inline.  ``timeout`` is the
+    per-point wall-clock budget; a chunk that exceeds the sum of its
+    points' budgets -- or whose worker dies -- is retried once,
+    serially, in the parent process.  The returned mapping is
+    insertion-ordered by first occurrence in ``specs`` and independent
+    of completion order.
+    """
+    stats = stats if stats is not None else SweepRunStats()
+    stats.workers = resolve_workers(workers)
+    t_start = time.perf_counter()
+
+    store = SweepCache(cache_dir) if cache else None
+    results: Dict[str, Dict] = {}
+    spec_of_key: Dict[str, SweepPoint] = {}
+    for spec in specs:
+        # The default code_version() tag keys every point whether or
+        # not the cache is consulted, so callers can re-derive the key
+        # with ``spec.key()`` regardless of cache settings.
+        key = spec.key(store.version if store is not None else None)
+        if key not in spec_of_key:
+            spec_of_key[key] = spec
+            results[key] = None  # placeholder fixing output order
+    stats.points = len(spec_of_key)
+
+    def finish(key: str, result: Dict, wall_ms: float = 0.0) -> None:
+        results[key] = result
+        if wall_ms and metrics is not None:
+            metrics.histogram("sweep.point_ms").observe(int(wall_ms))
+        if progress is not None:
+            spec = spec_of_key[key]
+            progress(spec.app, spec.scheme)
+
+    misses: List[str] = []
+    for key, spec in spec_of_key.items():
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            stats.cache_hits += 1
+            finish(key, cached)
+        else:
+            misses.append(key)
+    stats.cache_misses = len(misses)
+
+    def run_serially(key: str) -> None:
+        t0 = time.perf_counter()
+        result = simulate_point(spec_of_key[key])
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        stats.busy_seconds += wall_ms / 1e3
+        stats.simulated += 1
+        if store is not None:
+            store.put(key, spec_of_key[key].canonical(), result)
+        finish(key, result, wall_ms)
+
+    if stats.workers <= 1 or len(misses) <= 1:
+        for key in misses:
+            run_serially(key)
+    else:
+        # ~4 chunks per worker keeps the pool load-balanced while
+        # amortising pickling/IPC over several points per round-trip.
+        chunk_size = max(1, len(misses) // (stats.workers * 4))
+        chunks = _chunked(misses, chunk_size)
+        stats.chunks = len(chunks)
+        retry: List[str] = []
+        # The overall deadline is the sum of the per-point budgets: the
+        # pool as a whole never waits longer than ``timeout`` per point.
+        deadline = timeout * len(misses) if timeout else None
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(stats.workers, len(chunks)),
+            mp_context=_mp_context(),
+        )
+        try:
+            futures = {
+                executor.submit(
+                    _simulate_chunk,
+                    tuple(spec_of_key[k] for k in chunk),
+                ): chunk
+                for chunk in chunks
+            }
+            for future in concurrent.futures.as_completed(
+                    futures, timeout=deadline):
+                chunk = futures[future]
+                try:
+                    rows = future.result()
+                except Exception:
+                    # Worker crash (BrokenProcessPool marks every
+                    # pending future too) or an in-worker exception:
+                    # queue the chunk for the serial retry pass, where
+                    # a genuine simulation bug reproduces and raises
+                    # with a readable traceback.
+                    stats.worker_crashes += 1
+                    retry.extend(chunk)
+                else:
+                    for key, row in zip(chunk, rows):
+                        stats.simulated += 1
+                        stats.busy_seconds += row["wall_ms"] / 1e3
+                        if store is not None:
+                            store.put(key, spec_of_key[key].canonical(),
+                                      row["result"])
+                        finish(key, row["result"], row["wall_ms"])
+        except concurrent.futures.TimeoutError:
+            # Deadline tripped: everything unfinished retries serially.
+            stats.worker_crashes += 1
+            for future, chunk in futures.items():
+                if not future.done():
+                    future.cancel()
+                    retry.extend(chunk)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        for key in retry:
+            if results[key] is None:
+                stats.retried += 1
+                run_serially(key)
+
+    stats.wall_seconds = time.perf_counter() - t_start
+    if metrics is not None:
+        metrics.counter("sweep.points").inc(stats.points)
+        metrics.counter("sweep.cache.hits").inc(stats.cache_hits)
+        metrics.counter("sweep.cache.misses").inc(stats.cache_misses)
+        metrics.counter("sweep.simulated").inc(stats.simulated)
+        metrics.counter("sweep.retried").inc(stats.retried)
+        metrics.counter("sweep.worker_crashes").inc(stats.worker_crashes)
+        metrics.gauge("sweep.workers").set(stats.workers)
+        metrics.gauge("sweep.utilization").set(stats.utilization)
+        metrics.gauge("sweep.points_per_sec").set(stats.points_per_sec)
+    return results

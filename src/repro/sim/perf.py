@@ -15,6 +15,12 @@ stretches between bursts are skipped outright -- while still exercising
 the bank-aware arbitration, WB estimator tagging/acks and region-TSB
 serialisation on the STT-RAM configurations.
 
+A second benchmark, ``sweep-throughput`` (:func:`run_sweep_throughput`),
+measures the experiment layer: points/sec of an apps x schemes grid
+executed serially, through the process-pool sweep engine against a cold
+content-addressed result cache, and again against the warm cache
+(:mod:`repro.sim.parallel`).
+
 Run via ``python -m repro.cli perf`` (``--smoke`` for the quick CI
 variant); results are written to ``BENCH_perf.json``.
 """
@@ -22,7 +28,9 @@ variant); results are written to ``BENCH_perf.json``.
 from __future__ import annotations
 
 import json
+import os
 import random
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -44,6 +52,17 @@ PERF_CONFIGS: Tuple[Tuple[str, Scheme, Dict], ...] = (
 #: Config the ">= 3x cycles/sec" acceptance target applies to.
 TARGET_CONFIG = "sttram-4tsb-wb"
 TARGET_SPEEDUP = 3.0
+
+#: sweep-throughput benchmark grid (see :func:`run_sweep_throughput`).
+SWEEP_BENCH_APPS: Tuple[str, ...] = ("tpcc", "mcf")
+SWEEP_BENCH_SCHEMES = (
+    Scheme.SRAM_64TSB, Scheme.STTRAM_4TSB, Scheme.STTRAM_4TSB_WB,
+)
+SWEEP_BENCH_OVERRIDES = dict(mesh_width=4, capacity_scale=1 / 64)
+SWEEP_BENCH_WORKERS = 4
+#: Warm-cache replays read JSON instead of simulating; anything below
+#: this floor means the cache path regressed badly.
+SWEEP_WARM_FLOOR = 10.0
 
 
 class PhasedBurstStream(AccessStream):
@@ -145,7 +164,8 @@ def run_one(label: str, scheme: Scheme, overrides: Dict, scheduler: str,
 
 def run_perf(cycles: int = 30_000, warmup: int = 2_000, seed: int = 1,
              repeats: int = 3,
-             labels: Optional[Tuple[str, ...]] = None) -> Dict:
+             labels: Optional[Tuple[str, ...]] = None,
+             sweep: bool = True) -> Dict:
     """Run the full benchmark matrix and return the report dict.
 
     Every config runs under both schedulers; the two ``SimulationResult``
@@ -201,7 +221,74 @@ def run_perf(cycles: int = 30_000, warmup: int = 2_000, seed: int = 1,
             "identical_results": True,
             "fingerprint": _result_fingerprint(event["result"]),
         }
+    if sweep:
+        report["sweep_throughput"] = run_sweep_throughput(seed=seed)
     return report
+
+
+def run_sweep_throughput(cycles: int = 1200, warmup: int = 400,
+                         seed: int = 1,
+                         workers: int = SWEEP_BENCH_WORKERS) -> Dict:
+    """Benchmark the sweep engine: serial vs parallel, cold vs warm.
+
+    Runs one apps x schemes grid three ways -- serially without a
+    cache, through the process pool against a cold cache, and again
+    against the now-warm cache -- and reports points/sec for each.
+    All three ``SweepResults`` must be byte-identical
+    (``identical_results``); the warm replay must be a 100% cache hit.
+
+    Cold-cache parallel speedup is bounded by physical cores
+    (``host_cpus`` is recorded alongside so numbers transfer across
+    machines); warm-cache speedup is core-independent, since cached
+    points skip simulation entirely.
+    """
+    from repro.sim.parallel import SweepRunStats
+    from repro.sim.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        apps=SWEEP_BENCH_APPS, schemes=SWEEP_BENCH_SCHEMES,
+        cycles=cycles, warmup=warmup, seed=seed,
+        overrides=dict(SWEEP_BENCH_OVERRIDES),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        serial_stats = SweepRunStats()
+        serial = run_sweep(grid, workers=1, cache=False,
+                           stats=serial_stats)
+        cold_stats = SweepRunStats()
+        cold = run_sweep(grid, workers=workers, cache=True,
+                         cache_dir=tmp, stats=cold_stats)
+        warm_stats = SweepRunStats()
+        warm = run_sweep(grid, workers=workers, cache=True,
+                         cache_dir=tmp, stats=warm_stats)
+
+    identical = (
+        serial.fingerprint() == cold.fingerprint() == warm.fingerprint()
+    )
+    serial_pps = serial_stats.points_per_sec
+    return {
+        "benchmark": "sweep-throughput",
+        "apps": list(SWEEP_BENCH_APPS),
+        "schemes": [s.value for s in SWEEP_BENCH_SCHEMES],
+        "points": serial_stats.points,
+        "cycles": cycles,
+        "warmup": warmup,
+        "seed": seed,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "serial_points_per_sec": round(serial_pps, 2),
+        "cold_points_per_sec": round(cold_stats.points_per_sec, 2),
+        "warm_points_per_sec": round(warm_stats.points_per_sec, 2),
+        "cold_speedup": round(
+            cold_stats.points_per_sec / serial_pps, 3) if serial_pps
+            else 0.0,
+        "warm_speedup": round(
+            warm_stats.points_per_sec / serial_pps, 3) if serial_pps
+            else 0.0,
+        "cold_utilization": round(cold_stats.utilization, 3),
+        "warm_hit_rate": round(warm_stats.hit_rate, 3),
+        "identical_results": identical,
+        "fingerprint": serial.fingerprint()[:16],
+    }
 
 
 def run_perf_smoke(seed: int = 1) -> Dict:
@@ -238,6 +325,27 @@ def check_regression(current: Dict, baseline: Dict,
             )
         if not row.get("identical_results"):
             failures.append(f"{label}: dense/event result drift")
+    sweep = current.get("sweep_throughput")
+    if sweep is not None:
+        # Machine-independent gates: determinism is absolute, and the
+        # warm-cache replay reads JSON instead of simulating, so its
+        # speedup floor transfers across hosts.  Cold-cache speedup
+        # scales with physical cores and is recorded, not gated.
+        if not sweep.get("identical_results"):
+            failures.append(
+                "sweep-throughput: serial/parallel/warm result drift"
+            )
+        if sweep.get("warm_hit_rate", 0.0) < 1.0:
+            failures.append(
+                f"sweep-throughput: warm replay hit rate "
+                f"{sweep.get('warm_hit_rate', 0.0):.0%} < 100%"
+            )
+        if sweep.get("warm_speedup", 0.0) < SWEEP_WARM_FLOOR:
+            failures.append(
+                f"sweep-throughput: warm-cache speedup "
+                f"{sweep.get('warm_speedup', 0.0):.1f}x fell below the "
+                f"{SWEEP_WARM_FLOOR:.0f}x floor"
+            )
     return failures
 
 
@@ -258,5 +366,17 @@ def format_report(report: Dict) -> str:
             f"{label:26s} {row['dense_cycles_per_sec']:12.0f} "
             f"{row['event_cycles_per_sec']:12.0f} "
             f"{row['speedup']:7.2f}x {executed:>14s}"
+        )
+    sweep = report.get("sweep_throughput")
+    if sweep is not None:
+        lines.append(
+            f"sweep-throughput ({sweep['points']} pts, "
+            f"workers={sweep['workers']}, {sweep['host_cpus']} cpus): "
+            f"serial {sweep['serial_points_per_sec']:.2f} pts/s, "
+            f"cold {sweep['cold_points_per_sec']:.2f} "
+            f"({sweep['cold_speedup']:.2f}x), "
+            f"warm {sweep['warm_points_per_sec']:.2f} "
+            f"({sweep['warm_speedup']:.2f}x), "
+            f"identical={sweep['identical_results']}"
         )
     return "\n".join(lines)

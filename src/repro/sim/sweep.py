@@ -7,20 +7,31 @@ them so analyses can be re-plotted without re-simulating::
     grid = SweepGrid(apps=["tpcc", "mcf"], schemes=ALL_SCHEMES,
                      cycles=2500, warmup=1000,
                      overrides={"mesh_width": 8, "capacity_scale": 1/16})
-    sweep = run_sweep(grid)
+    sweep = run_sweep(grid, workers=4, cache=True)
     sweep.save("results.json")
     later = SweepResults.load("results.json")
     later.normalized("instruction_throughput", baseline="SRAM-64TSB")
+
+Execution is delegated to :mod:`repro.sim.parallel`: grid points are
+self-contained picklable :class:`~repro.sim.parallel.SweepPoint` specs
+that can fan out across a process pool and be served from the
+content-addressed result cache.  Every point simulates from a reset
+process state, so ``SweepResults.data`` is byte-identical for any
+worker count and for warm-cache replays.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.config import ALL_SCHEMES, Scheme
-from repro.sim.experiment import app_factory, run_scheme
+from repro.sim.parallel import (
+    ProgressFn, SweepPoint, SweepRunStats, run_points,
+)
 
 
 @dataclass
@@ -34,10 +45,28 @@ class SweepGrid:
     seed: int = 1
     overrides: Dict[str, object] = field(default_factory=dict)
 
-    def points(self):
+    def points(self) -> Iterator[Tuple[str, Scheme]]:
         for app in self.apps:
             for scheme in self.schemes:
                 yield app, scheme
+
+    def point_specs(self) -> List[SweepPoint]:
+        """The grid as self-contained picklable task specs."""
+        return [
+            SweepPoint.build(app, scheme, self.cycles, self.warmup,
+                             self.seed, self.overrides)
+            for app, scheme in self.points()
+        ]
+
+    def spec_dict(self) -> Dict:
+        return {
+            "apps": list(self.apps),
+            "schemes": [s.value for s in self.schemes],
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+        }
 
 
 class SweepResults:
@@ -93,28 +122,44 @@ class SweepResults:
             payload = json.load(fp)
         return cls(payload["grid"], payload["data"])
 
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical result payload.
 
-ProgressFn = Callable[[str, Scheme], None]
+        Two sweeps of the same grid agree on this digest exactly when
+        every per-point summary is byte-identical -- the determinism
+        contract checked across worker counts and cache replays.
+        """
+        blob = json.dumps(self.data, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
 
 def run_sweep(grid: SweepGrid,
-              progress: Optional[ProgressFn] = None) -> SweepResults:
-    """Execute every grid point and collect summaries."""
+              progress: Optional[ProgressFn] = None,
+              *,
+              workers: int = 1,
+              cache: bool = False,
+              cache_dir: Optional[str] = None,
+              timeout: Optional[float] = None,
+              metrics: Optional[MetricsRegistry] = None,
+              stats: Optional[SweepRunStats] = None) -> SweepResults:
+    """Execute every grid point and collect summaries.
+
+    ``workers=1`` (the default) runs in-process, serially; ``workers=N``
+    fans grid points out across a process pool, and ``workers=0`` uses
+    one worker per host CPU.  With ``cache=True`` previously simulated
+    points are served from the content-addressed result cache (see
+    :mod:`repro.sim.parallel`), so only changed points simulate.  The
+    resulting ``SweepResults`` is identical in all modes.
+    """
+    specs = grid.point_specs()
+    resolved = run_points(
+        specs, workers=workers, cache=cache, cache_dir=cache_dir,
+        progress=progress, timeout=timeout, metrics=metrics, stats=stats,
+    )
     data: Dict[str, Dict[str, dict]] = {}
-    for app, scheme in grid.points():
-        if progress is not None:
-            progress(app, scheme)
-        result = run_scheme(
-            scheme, app_factory(app, seed=grid.seed),
-            cycles=grid.cycles, warmup=grid.warmup, **grid.overrides,
+    for spec in specs:
+        data.setdefault(spec.app, {})[spec.scheme.value] = (
+            resolved[spec.key()]
         )
-        data.setdefault(app, {})[scheme.value] = result.to_dict()
-    spec = {
-        "apps": list(grid.apps),
-        "schemes": [s.value for s in grid.schemes],
-        "cycles": grid.cycles,
-        "warmup": grid.warmup,
-        "seed": grid.seed,
-        "overrides": dict(grid.overrides),
-    }
-    return SweepResults(spec, data)
+    return SweepResults(grid.spec_dict(), data)
