@@ -52,7 +52,7 @@ class LinkUtilizationProbe:
         network._forward = self._forward_hook
         self._start_cycle = None
 
-    def _forward_hook(self, router, downstream, out_port, entry, now):
+    def _forward_hook(self, router, downstream, out_port, entry, index, now):
         if self._start_cycle is None:
             self._start_cycle = now
         pkt = entry[2]
@@ -60,7 +60,7 @@ class LinkUtilizationProbe:
         self.flit_counts[key] = self.flit_counts.get(key, 0) + pkt.flits
         self.cycles_observed = max(self.cycles_observed,
                                    now - self._start_cycle + 1)
-        self._original_forward(router, downstream, out_port, entry, now)
+        self._original_forward(router, downstream, out_port, entry, index, now)
 
     def detach(self) -> None:
         """Restore the unwrapped forward path."""

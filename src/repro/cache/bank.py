@@ -38,6 +38,12 @@ SendFn = Callable[..., None]
 class BankStats:
     """Per-bank instrumentation."""
 
+    __slots__ = (
+        "reads", "writes", "fills", "drains", "l2_hits", "l2_misses",
+        "queue_wait_sum", "queue_wait_samples", "busy_cycles",
+        "max_queue_depth", "service_intervals",
+    )
+
     def __init__(self):
         self.reads = 0
         self.writes = 0
@@ -115,8 +121,6 @@ class BankController:
         self.queue_limit = config.bank_queue_entries
         self.busy_until = 0
         self._current_op: Optional[Tuple] = None
-        #: deferred packet emissions: list of (ready_cycle, spec)
-        self._outbox: List[Tuple[int, tuple]] = []
         self.stats = BankStats()
         #: observability emit callable; None when tracing is detached
         self.trace = None
@@ -191,15 +195,16 @@ class BankController:
     # ------------------------------------------------------------------
 
     def step(self, now: int) -> None:
-        self._flush_outbox(now)
         if self.busy_until > now:
             return
         if self._current_op is not None:
             self._complete_op(now)
-        if self.queue:
-            kind, payload, arrival = self.queue.popleft()
-            wait = now - arrival
-            self.stats.record_wait(wait)
+        queue = self.queue
+        if queue:
+            kind, payload, arrival = queue.popleft()
+            stats = self.stats
+            stats.queue_wait_sum += now - arrival
+            stats.queue_wait_samples += 1
             self._start_op(kind, payload, now)
         elif self.write_buffer is not None:
             block = self.write_buffer.start_drain()
@@ -207,14 +212,15 @@ class BankController:
                 self._current_op = ("drain", block, None)
                 service = self._array_write_cycles()
                 self.busy_until = now + service
-                self.stats.busy_cycles += service
-                self.stats.service_intervals.append((now, now + service))
+                stats = self.stats
+                stats.busy_cycles += service
+                stats.service_intervals.append((now, now + service))
                 trace = self.trace
                 if trace is not None:
                     trace(now, EV_BANK_START, {
                         "bank": self.bank, "op": "drain",
                         "service": service,
-                        "queue_depth": len(self.queue),
+                        "queue_depth": len(queue),
                     })
 
     # ------------------------------------------------------------------
@@ -269,8 +275,9 @@ class BankController:
             raise ValueError(f"unknown bank op {kind}")
 
         self.busy_until = now + service
-        self.stats.busy_cycles += service
-        self.stats.service_intervals.append((now, now + service))
+        stats = self.stats
+        stats.busy_cycles += service
+        stats.service_intervals.append((now, now + service))
         trace = self.trace
         if trace is not None:
             trace(now, EV_BANK_START, {
@@ -454,10 +461,6 @@ class BankController:
             PacketClass.MEMORY, self.node, dst,
             self.config.data_packet_flits, True, None, msg, now,
         )
-
-    def _flush_outbox(self, now: int) -> None:
-        # Reserved for future deferred emissions; sends are immediate.
-        return
 
     # ------------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 
@@ -17,7 +17,7 @@ class CoherenceOp(enum.IntEnum):
     RECALL = 4       # home -> sharer: inclusive-L2 eviction recall
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One core-initiated L2 access travelling through the system."""
 
@@ -35,7 +35,7 @@ class Transaction:
     forwarded_from_owner: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceMsg:
     op: CoherenceOp
     block: int
@@ -48,7 +48,7 @@ class CoherenceMsg:
     txn: Optional[Transaction] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MemMsg:
     """L2 bank <-> memory controller message."""
 
@@ -60,7 +60,7 @@ class MemMsg:
     txn: Optional[Transaction] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AckMsg:
     """WB-estimator timestamp acknowledgement (child -> parent)."""
 

@@ -94,6 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--warmup", type=int, default=None)
     perf_p.add_argument("--repeats", type=_positive_int, default=None)
     perf_p.add_argument("--seed", type=int, default=1)
+    perf_p.add_argument("--profile", action="store_true",
+                        help="profile the target config under cProfile "
+                             "and report the top-N hotspots")
+    perf_p.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="write the profile hotspot JSON dump "
+                             "(with --profile)")
+    perf_p.add_argument("--top", type=_positive_int, default=25,
+                        help="hotspot rows in the profile report")
+    perf_p.add_argument("--scheduler", choices=("dense", "event"),
+                        default="event",
+                        help="scheduler to profile (with --profile)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run an apps x schemes grid (parallel + cached)")
@@ -223,6 +234,21 @@ def _cmd_fig3(args) -> int:
 
 def _cmd_perf(args) -> int:
     from repro.sim import perf as perf_mod
+
+    if args.profile:
+        kwargs = dict(seed=args.seed, scheduler=args.scheduler,
+                      top=args.top)
+        for name in ("cycles", "warmup"):
+            value = getattr(args, name)
+            if value is not None:
+                kwargs[name] = value
+        report = perf_mod.run_profile(**kwargs)
+        print(perf_mod.format_profile(report))
+        out = args.profile_out or args.out
+        if out:
+            perf_mod.write_report(report, out)
+            print(f"wrote {out}")
+        return 0
 
     kwargs = dict(seed=args.seed)
     if args.smoke:

@@ -30,7 +30,12 @@ class RoundRobinArbiter:
 
     name = "rr"
 
+    #: True when the network must invoke :meth:`on_forward` per packet
+    #: (plain RR has no forward hook, so the network skips the call).
+    needs_forward_hook = False
+
     def __init__(self):
+        #: (node << 3 | out_port) -> rotation pointer
         self._pointers = {}
         self.network = None
         #: observability emit callable; None when tracing is detached
@@ -39,6 +44,14 @@ class RoundRobinArbiter:
     def bind(self, network) -> None:
         """Give the arbiter access to live router state."""
         self.network = network
+        #: node-indexed choose dispatch table; subclasses that specialise
+        #: per node (bank-aware parents vs plain RR elsewhere) override
+        #: rows so the route loop skips the delegation chain entirely.
+        #: None for topology-less stand-ins (unit-test fakes).
+        topo = getattr(network, "topo", None)
+        self.choose_at = (
+            None if topo is None else [self.choose] * topo.n_nodes
+        )
 
     def on_forward(self, node: int, pkt: Packet, now: int,
                    out_port: int) -> None:
@@ -53,21 +66,26 @@ class RoundRobinArbiter:
         """
         if not entries:
             return None
-        key = (node, out_port)
+        key = (node << 3) | out_port
         if len(entries) == 1:
-            # Sole candidate: skip the sort, advance the pointer exactly
+            # Sole candidate: skip the scan, advance the pointer exactly
             # as the general path would.
             e = entries[0]
             self._pointers[key] = (e[0] * 64 + e[1] + 1) % 4096
             return 0
         pointer = self._pointers.get(key, 0)
         # Rotate over (in_port, vc) identities for classic RR fairness.
-        order = sorted(
-            range(len(entries)),
-            key=lambda i: ((entries[i][0] * 64 + entries[i][1]
-                            - pointer) % 4096),
-        )
-        winner = order[0]
+        # (in_port, vc) pairs are unique within one output queue, so the
+        # minimum rotation distance picks the same winner a full sort
+        # would -- without building the order list.
+        winner = 0
+        best = (entries[0][0] * 64 + entries[0][1] - pointer) % 4096
+        for i in range(1, len(entries)):
+            e = entries[i]
+            distance = (e[0] * 64 + e[1] - pointer) % 4096
+            if distance < best:
+                best = distance
+                winner = i
         self._pointers[key] = (
             entries[winner][0] * 64 + entries[winner][1] + 1
         ) % 4096
@@ -103,6 +121,8 @@ class BankAwareArbiter(RoundRobinArbiter):
 
     name = "bank-aware"
 
+    needs_forward_hook = True
+
     def __init__(
         self,
         config: SystemConfig,
@@ -128,7 +148,22 @@ class BankAwareArbiter(RoundRobinArbiter):
         #: block unrelated through-traffic (tree saturation).
         self.min_free_vcs = config.arbiter_min_free_vcs
         self.read_priority = config.arbiter_read_priority
-        self._children = region_map.children_of
+        #: parent node -> frozenset of managed child banks (set lookup on
+        #: the per-candidate hot path instead of a tuple scan)
+        self._children = {
+            node: frozenset(banks)
+            for node, banks in region_map.children_of.items()
+        }
+        #: bank -> base parent->child travel cycles.  Hop distance and
+        #: travel time are static per bank, so the hot paths replace the
+        #: ``expected_child_distance``/``travel_cycles`` call pair with
+        #: one list index.
+        self._travel = [
+            tracker.travel_cycles(region_map.expected_child_distance(b))
+            for b in range(config.n_banks)
+        ]
+        self._read_cycles = tracker.read_cycles
+        self._write_cycles = tracker.write_cycles
 
     # ------------------------------------------------------------------
 
@@ -140,52 +175,122 @@ class BankAwareArbiter(RoundRobinArbiter):
 
     def on_forward(self, node: int, pkt: Packet, now: int,
                    out_port: int) -> None:
-        """Charge the busy tracker and let the estimator tag packets."""
-        if not self._is_managed(node, pkt):
+        """Charge the busy tracker and let the estimator tag packets.
+
+        The body of :meth:`BankBusyTracker.charge` is inlined (with the
+        precomputed per-bank travel time) -- this runs once per forwarded
+        managed request and must stay exactly equivalent to it.
+        """
+        bank = pkt.bank
+        if pkt.klass is not PacketClass.REQUEST or bank is None:
             return
-        est = self.estimator.congestion_estimate(node, pkt.bank, now)
-        hops = self.region_map.expected_child_distance(pkt.bank)
-        arrival, predicted = self.tracker.charge(pkt, now, hops, est)
+        children = self._children.get(node)
+        if children is None or bank not in children:
+            return
+        tracker = self.tracker
+        est = self.estimator.congestion_estimate(node, bank, now)
+        arrival = now + self._travel[bank] + est
+        busy_until = tracker.busy_until
+        prev = busy_until.get(bank, 0)
+        predicted = arrival < prev
+        tracker.predictions.append((bank, arrival, predicted))
+        service = self._write_cycles if pkt.is_write else self._read_cycles
+        if arrival + service > prev:
+            busy_until[bank] = arrival + service
         self.estimator.on_forward(node, pkt, now)
         trace = self.trace
         if trace is not None:
             trace(now, EV_EST_PREDICT, {
-                "node": node, "bank": pkt.bank, "estimate": est,
+                "node": node, "bank": bank, "estimate": est,
                 "arrival": arrival, "predicted_busy": predicted,
             })
 
+    def bind(self, network) -> None:
+        super().bind(network)
+        if self.choose_at is None:
+            return
+        # Parent nodes take the bank-aware path; every other node is
+        # plain round-robin, dispatched without the per-call delegation.
+        rr_choose = RoundRobinArbiter.choose.__get__(self)
+        for node in range(len(self.choose_at)):
+            if node in self._children:
+                self.choose_at[node] = self._choose_parent
+            else:
+                self.choose_at[node] = rr_choose
+        #: node-indexed forward hook: only parent nodes charge the busy
+        #: tracker, every other node's hook is a no-op the network skips.
+        self.forward_hook_at = [
+            self.on_forward if node in self._children else None
+            for node in range(len(self.choose_at))
+        ]
+
     def choose(self, node: int, out_port: int, entries: List[list],
                now: int) -> Optional[int]:
-        if not entries:
-            return None
         if node not in self._children:
             return super().choose(node, out_port, entries, now)
+        return self._choose_parent(node, out_port, entries, now)
+
+    def _choose_parent(self, node: int, out_port: int, entries: List[list],
+                       now: int) -> Optional[int]:
+        if not entries:
+            return None
+        children = self._children[node]
+        if len(entries) == 1:
+            # Sole candidate: it wins outright unless it is a managed
+            # request headed to a possibly-busy bank (then the general
+            # path decides whether to park it).
+            entry = entries[0]
+            pkt = entry[ENTRY_PKT]
+            bank = pkt.bank
+            if (
+                pkt.klass is not PacketClass.REQUEST
+                or bank is None
+                or bank not in children
+                or now - entry[ENTRY_ARRIVAL] >= self.max_delay
+                or self.tracker.busy_until.get(bank, 0) <= now
+            ):
+                return 0
 
         router = (
             self.network.routers[node] if self.network is not None else None
         )
+        tracker = self.tracker
+        estimate = self.estimator.congestion_estimate
+        busy_get = tracker.busy_until.get
+        travel = self._travel
+        max_delay = self.max_delay
+        min_free_vcs = self.min_free_vcs
+        request = PacketClass.REQUEST
         eligible: List[int] = []
         delayed: List[int] = []
         for i, entry in enumerate(entries):
             pkt = entry[ENTRY_PKT]
-            if self._is_managed(node, pkt):
-                waited = now - entry[ENTRY_ARRIVAL]
-                if waited < self.max_delay:
-                    est = self.estimator.congestion_estimate(
-                        node, pkt.bank, now)
-                    hops = self.region_map.expected_child_distance(pkt.bank)
-                    if self.tracker.predicted_busy(pkt.bank, now, hops, est):
-                        if (
-                            router is not None
-                            and router.free_vc_count(entry[0], now)
-                            < self.min_free_vcs
-                        ):
-                            # Port under VC pressure: parking this packet
-                            # would block through-traffic; release it.
-                            self.vc_pressure_releases += 1
-                        else:
-                            delayed.append(i)
-                            continue
+            bank = pkt.bank
+            if (
+                pkt.klass is request
+                and bank is not None
+                and bank in children
+                and now - entry[ENTRY_ARRIVAL] < max_delay
+            ):
+                # Inline of tracker.predicted_busy with the precomputed
+                # travel time; the estimate is only needed (and the
+                # estimator call only paid) once the bank looks busy.
+                free_at = busy_get(bank, 0)
+                if free_at > now and (
+                    now + travel[bank] + estimate(node, bank, now) < free_at
+                ):
+                    tracker.delays_predicted += 1
+                    if (
+                        router is not None
+                        and router.free_vc_count(entry[0], now)
+                        < min_free_vcs
+                    ):
+                        # Port under VC pressure: parking this packet
+                        # would block through-traffic; release it.
+                        self.vc_pressure_releases += 1
+                    else:
+                        delayed.append(i)
+                        continue
             eligible.append(i)
 
         for i in delayed:
@@ -208,18 +313,33 @@ class BankAwareArbiter(RoundRobinArbiter):
             # among requests, let latency-critical reads pass non-blocking
             # write data (Section 3.2: not all requests are equally
             # critical from the network standpoint); break ties
-            # oldest-first.
-            def rank(i: int):
-                pkt = entries[i][ENTRY_PKT]
-                if pkt.klass is not PacketClass.REQUEST:
+            # oldest-first.  (Manual min over (boost, inject, arrival) --
+            # no per-call key closure; first minimum wins, like min().)
+            read_priority = self.read_priority
+            winner = -1
+            b_boost = b_inject = b_arrival = 0
+            for i in eligible:
+                e = entries[i]
+                pkt = e[ENTRY_PKT]
+                if pkt.klass is not request:
                     boost = 0
-                elif not pkt.is_write or not self.read_priority:
+                elif not pkt.is_write or not read_priority:
                     boost = 1
                 else:
                     boost = 2
-                return (boost, pkt.inject_cycle, entries[i][ENTRY_ARRIVAL])
-
-            winner = min(eligible, key=rank)
+                if winner < 0:
+                    take = True
+                elif boost != b_boost:
+                    take = boost < b_boost
+                elif pkt.inject_cycle != b_inject:
+                    take = pkt.inject_cycle < b_inject
+                else:
+                    take = e[ENTRY_ARRIVAL] < b_arrival
+                if take:
+                    winner = i
+                    b_boost = boost
+                    b_inject = pkt.inject_cycle
+                    b_arrival = e[ENTRY_ARRIVAL]
         if delayed:
             trace = self.trace
             if trace is not None:
@@ -250,14 +370,14 @@ class BankAwareArbiter(RoundRobinArbiter):
             return now + 1
         tracker = self.tracker
         estimator = self.estimator
-        distance = self.region_map.expected_child_distance
+        travel = self._travel
         best = NEVER
         for entry in entries:
             pkt = entry[ENTRY_PKT]
             t = entry[ENTRY_ARRIVAL] + self.max_delay
             est = estimator.congestion_estimate(node, pkt.bank, now)
             t2 = (tracker.predicted_free_at(pkt.bank)
-                  - tracker.travel_cycles(distance(pkt.bank)) - est)
+                  - travel[pkt.bank] - est)
             if t2 < t:
                 t = t2
             if t < best:

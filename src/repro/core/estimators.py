@@ -101,22 +101,30 @@ class RegionalCongestionEstimator(CongestionEstimator):
         topo = self.network.topo
         routers = self.network.routers
         local = self.local
+        max_value = self.max_value
         for router in routers:
             value = router.queued_flits()
             busy = router.max_output_residual(now)
-            local[router.node] = min(self.max_value, value + busy)
+            local[router.node] = min(max_value, value + busy)
         # One aggregation step per update: equal weighting of the local
         # value and the mean of the neighbours' previous aggregates gives
         # the coarse regional view of the original RCA proposal.
         prev = dict(self.agg) if self.agg else local
+        prev_get = prev.get
+        local_get = local.get
+        agg = self.agg
+        neighbors_of = self.network.neighbors_of
         for node in range(topo.n_nodes):
-            neigh = self.network.neighbors_of[node]
+            neigh = neighbors_of[node]
             if neigh:
-                downstream = sum(prev.get(n, 0.0) for n in neigh) / len(neigh)
+                total = 0.0
+                for n in neigh:
+                    total += prev_get(n, 0.0)
+                downstream = total / len(neigh)
             else:  # pragma: no cover - every mesh node has neighbours
                 downstream = 0.0
-            self.agg[node] = min(
-                self.max_value, 0.5 * local.get(node, 0.0) + 0.5 * downstream
+            agg[node] = min(
+                max_value, 0.5 * local_get(node, 0.0) + 0.5 * downstream
             )
 
     def _path_nodes(self, parent_node: int, bank: int) -> Tuple[int, ...]:
@@ -142,7 +150,10 @@ class RegionalCongestionEstimator(CongestionEstimator):
         nodes = self._path_nodes(parent_node, bank)
         if not nodes:
             return 0
-        total = sum(self.agg.get(n, 0.0) for n in nodes)
+        agg_get = self.agg.get
+        total = 0.0
+        for n in nodes:
+            total += agg_get(n, 0.0)
         return int(min(self.max_value, total / 2.0))
 
 

@@ -36,6 +36,13 @@ CORE_STALL_MSHR = 4    # MSHR file full
 class CoreStats:
     """Per-core instrumentation."""
 
+    __slots__ = (
+        "committed", "mem_ops", "l1_hits", "l1_misses", "stall_cycles",
+        "mshr_stall_cycles", "ni_stall_cycles", "writebacks",
+        "invalidations_received", "forwards_served", "miss_latency_sum",
+        "miss_latency_samples",
+    )
+
     def __init__(self):
         self.committed = 0
         self.mem_ops = 0
@@ -100,6 +107,7 @@ class Core:
         self._miss_issue_cycle: Dict[int, int] = {}
 
         self._gap_remaining = 0
+        self._commit_width = config.commit_width
         self._pending_block: Optional[int] = None
         self._pending_store = False
         self._advance_stream()
@@ -134,17 +142,23 @@ class Core:
         sleep until a wake event (packet delivery, NI drain, gap/window
         boundary).
         """
-        if self._window_blocked():
-            self.stats.stall_cycles += 1
-            return CORE_STALL_WINDOW
+        stats = self.stats
+        blocking = self._blocking_loads
+        if blocking:
+            # Inline of _window_blocked (hottest entry check).
+            committed = stats.committed
+            for issued_at, window in blocking.values():
+                if committed - issued_at >= window:
+                    stats.stall_cycles += 1
+                    return CORE_STALL_WINDOW
         mem_op_done = False
         attempted = False
         stall = CORE_RUN
-        committed_before = self.stats.committed
-        for _slot in range(self.config.commit_width):
+        committed_before = stats.committed
+        for _slot in range(self._commit_width):
             if self._gap_remaining > 0:
                 self._gap_remaining -= 1
-                self.stats.committed += 1
+                stats.committed += 1
                 continue
             if mem_op_done:
                 break  # only one memory operation per cycle (Table 1)

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.combining import FlitCombiner
 from repro.errors import RoutingError
 from repro.noc.packet import Packet
-from repro.noc.router import NEVER, Router
+from repro.noc.router import MASK_PORTS, NEVER, Router
 from repro.noc.routing import RoutingPolicy
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import DOWN, LOCAL, N_PORTS, OPPOSITE, Mesh3D
@@ -84,6 +84,12 @@ class Network:
         self.sinks: Dict[int, Sink] = {}
         #: optional per-node ejection flow control: node -> (pkt -> bool)
         self.flow_control: Dict[int, Callable[[Packet], bool]] = {}
+        #: flat node-indexed views of ``sinks``/``flow_control`` (the
+        #: route loop does one list index instead of a dict probe)
+        self._sink_at: List[Optional[Sink]] = [None] * topo.n_nodes
+        self._flow_at: List[Optional[Callable[[Packet], bool]]] = (
+            [None] * topo.n_nodes
+        )
         self.hop_cycles = config.hop_cycles
 
         # Precompute neighbours and link serialisation factors.
@@ -97,25 +103,53 @@ class Network:
             for row in self.neighbor_node
         ]
         self._combiners: Dict[tuple, FlitCombiner] = {}
+        #: (node << 3 | port)-indexed view of ``_combiners``
+        self._combiner_at: List[Optional[FlitCombiner]] = (
+            [None] * (topo.n_nodes << 3)
+        )
         if routing.region_map is not None and \
                 config.region_tsb_width_factor > 1:
             for cache_node in routing.region_map.tsb_cache_nodes():
                 core_node = cache_node - topo.nodes_per_layer
-                self._combiners[(core_node, DOWN)] = FlitCombiner(
-                    config.region_tsb_width_factor
-                )
+                combiner = FlitCombiner(config.region_tsb_width_factor)
+                self._combiners[(core_node, DOWN)] = combiner
+                self._combiner_at[(core_node << 3) | DOWN] = combiner
         if estimator is not None:
             estimator.bind(self)
         if hasattr(arbiter, "bind"):
             arbiter.bind(self)
+        #: pre-bound hot callables (skip the attribute chain per call)
+        self._next_port = routing.next_port
+        #: arbiter forward hook, or None when it is a no-op (plain RR)
+        self._arb_on_forward = (
+            arbiter.on_forward
+            if getattr(arbiter, "needs_forward_hook", True) else None
+        )
+        #: node-indexed forward hook (bank-aware arbiters only charge the
+        #: tracker at parent nodes; everywhere else the hook is skipped)
+        hook_at = getattr(arbiter, "forward_hook_at", None)
+        if hook_at is not None:
+            self._arb_fwd_at: List = hook_at
+        else:
+            self._arb_fwd_at = [self._arb_on_forward] * topo.n_nodes
 
         self._nonempty_sources = set()
-        #: routers currently holding at least one resident packet
+        #: routers currently holding at least one resident packet (the
+        #: mesh has 128+ nodes; tracking the ~tens that are occupied
+        #: beats a dense guard scan of the full router list each cycle)
         self._active_routers = set()
         #: (node, out_port) -> (last scan cycle, parked delayed entries);
         #: cycles elapsed between scans are flushed into the arbiter's
         #: per-cycle delay accrual on the next scan of that port.
         self._parked: Dict[tuple, tuple] = {}
+        #: bit (node << 3 | port) set iff ``_parked`` holds that key --
+        #: the route loop tests one bit instead of building a tuple key
+        #: and probing the dict on every port scan.
+        self._parked_mask = 0
+        #: reusable candidate scratch lists for the route loop (cleared
+        #: per port scan; parking snapshots them with ``tuple()``)
+        self._scratch_cand: List[list] = []
+        self._scratch_idx: List[int] = []
         #: use the dense every-router/every-port reference loop instead of
         #: the active-set loop (kept for equivalence testing and as the
         #: perf baseline).
@@ -137,8 +171,10 @@ class Network:
                       flow_control: Optional[Callable[[Packet], bool]] = None
                       ) -> None:
         self.sinks[node] = sink
+        self._sink_at[node] = sink
         if flow_control is not None:
             self.flow_control[node] = flow_control
+            self._flow_at[node] = flow_control
 
     def can_inject(self, node: int) -> bool:
         """Source-side flow control: is there NI queue space at ``node``?
@@ -176,11 +212,16 @@ class Network:
             self.estimator.tick(now)
 
     def _inject_sources(self, now: int) -> None:
+        sources = self._nonempty_sources
+        if not sources:
+            return
         done = []
         drained = self.on_source_drain
-        for node in self._nonempty_sources:
+        routers = self.routers
+        next_port = self._next_port
+        for node in sources:
             queue = self.source_queues[node]
-            router = self.routers[node]
+            router = routers[node]
             popped = False
             while queue:
                 vc = router.free_vc(LOCAL, now)
@@ -192,8 +233,7 @@ class Network:
                 queue.popleft()
                 popped = True
                 pkt.network_cycle = now
-                out_port = self.routing.next_port(node, pkt)
-                router.accept(LOCAL, vc, pkt, out_port, now)
+                router.accept(LOCAL, vc, pkt, next_port(node, pkt), now)
             if popped:
                 self._active_routers.add(node)
                 if drained is not None:
@@ -201,7 +241,7 @@ class Network:
             if not queue:
                 done.append(node)
         for node in done:
-            self._nonempty_sources.discard(node)
+            sources.discard(node)
 
     def _route_cycle(self, now: int) -> None:
         """Active-set route cycle: scan only due routers/occupied ports.
@@ -211,69 +251,105 @@ class Network:
         and its side effects are identical; all other pairs are provably
         no-ops until the recorded wake hints come due.
         """
+        arbiter = self.arbiter
+        choose = arbiter.choose
+        # Per-node dispatch (bank-aware parents vs plain RR) skips the
+        # subclass delegation chain; absent on bare test arbiters.
+        choose_at = getattr(arbiter, "choose_at", None)
+        forward = self._forward
+        routers = self.routers
+        neighbor_node = self.neighbor_node
+        flow_at = self._flow_at
+        parked_map = self._parked
+        mask_ports = MASK_PORTS
+        opposite = OPPOSITE
+        local = LOCAL
+        never = NEVER
+        n_vcs = self.config.n_vcs
+        parked_mask = self._parked_mask
+        candidates: list = self._scratch_cand
+        cand_index: list = self._scratch_idx
         active = self._active_routers
         if not active:
             return
-        arbiter = self.arbiter
-        routers = self.routers
-        neighbor_node = self.neighbor_node
-        flow_control = self.flow_control
-        parked_map = self._parked
+        # ``sorted`` snapshots the set, so routers activated mid-cycle
+        # (a downstream accept) join the scan next cycle -- which is
+        # equivalent: a just-accepted packet is not ready before
+        # ``now + hop_cycles``, and if the downstream router already held
+        # candidates it was already in the snapshot.
         for node in sorted(active):
             router = routers[node]
             if router.next_active > now or router.n_resident == 0:
                 continue
+            node_choose = choose_at[node] if choose_at is not None else choose
             out_entries = router.out_entries
             out_busy_until = router.out_busy_until
-            wake = NEVER
+            neighbors = neighbor_node[node]
+            wake = never
             forwarded = False
-            for out_port in range(N_PORTS):
+            for out_port in mask_ports[router.port_mask]:
                 entries = out_entries[out_port]
-                if not entries:
-                    continue
                 busy = out_busy_until[out_port]
                 if busy > now:
                     if busy < wake:
                         wake = busy
                     continue
-                if out_port == LOCAL:
+                if out_port == local:
                     downstream = None
                 else:
-                    down_node = neighbor_node[node][out_port]
+                    down_node = neighbors[out_port]
                     if down_node is None:  # pragma: no cover
                         raise RoutingError(
                             f"packet routed off-mesh at node {node}"
                         )
                     downstream = routers[down_node]
-                    vc_at = downstream.next_free_vc_at(
-                        OPPOSITE[out_port], now)
+                    # Inline of ``downstream.next_free_vc_at`` (the most
+                    # frequent gate in the loop; must stay equivalent).
+                    d_pkt = downstream.vc_pkt
+                    d_free = downstream.vc_free_at
+                    base = opposite[out_port] * n_vcs
+                    vc_at = never
+                    for s in range(base, base + n_vcs):
+                        if d_pkt[s] is None:
+                            t = d_free[s]
+                            if t <= now:
+                                vc_at = now
+                                break
+                            if t < vc_at:
+                                vc_at = t
                     if vc_at > now:
                         if vc_at < wake:
                             wake = vc_at
                         continue
-                candidates = []
-                min_ready = NEVER
+                del candidates[:]
+                del cand_index[:]
+                min_ready = never
                 blocked = False
-                if out_port == LOCAL:
-                    accept = flow_control.get(node)
-                    for e in entries:
+                if out_port == local:
+                    accept = flow_at[node]
+                    for i, e in enumerate(entries):
                         ra = e[2].ready_at
                         if ra <= now:
                             if accept is None or accept(e[2]):
                                 candidates.append(e)
+                                cand_index.append(i)
                             else:
                                 blocked = True
                         elif ra < min_ready:
                             min_ready = ra
                 else:
-                    for e in entries:
+                    for i, e in enumerate(entries):
                         ra = e[2].ready_at
                         if ra <= now:
                             candidates.append(e)
+                            cand_index.append(i)
                         elif ra < min_ready:
                             min_ready = ra
-                parked = parked_map.pop((node, out_port), None)
-                if parked is not None:
+                if parked_mask and (
+                        parked_mask >> ((node << 3) | out_port)) & 1:
+                    parked_mask &= ~(1 << ((node << 3) | out_port))
+                    self._parked_mask = parked_mask
+                    parked = parked_map.pop((node, out_port))
                     gap = now - parked[0] - 1
                     if gap > 0:
                         arbiter.accrue_parked(parked[1], gap)
@@ -285,11 +361,13 @@ class Network:
                     elif min_ready < wake:
                         wake = min_ready
                     continue
-                winner = arbiter.choose(node, out_port, candidates, now)
+                winner = node_choose(node, out_port, candidates, now)
                 if winner is None:
                     # Every candidate heads to a predicted-busy bank: park
                     # them and sleep until the arbiter's release bound.
                     parked_map[(node, out_port)] = (now, tuple(candidates))
+                    parked_mask |= 1 << ((node << 3) | out_port)
+                    self._parked_mask = parked_mask
                     hint = arbiter.release_hint(
                         node, out_port, candidates, now)
                     if hint < wake:
@@ -297,8 +375,8 @@ class Network:
                     if min_ready < wake:
                         wake = min_ready
                     continue
-                self._forward(
-                    router, downstream, out_port, candidates[winner], now)
+                forward(router, downstream, out_port,
+                        candidates[winner], cand_index[winner], now)
                 forwarded = True
             router.next_active = now + 1 if forwarded else wake
 
@@ -328,32 +406,50 @@ class Network:
                     downstream = self.routers[down_node]
                     if downstream.free_vc(OPPOSITE[out_port], now) < 0:
                         continue
+                candidates = []
+                cand_index = []
                 if out_port == LOCAL:
                     accept = self.flow_control.get(node)
-                    candidates = [
-                        e for e in entries
-                        if e[2].ready_at <= now
-                        and (accept is None or accept(e[2]))
-                    ]
+                    for i, e in enumerate(entries):
+                        if e[2].ready_at <= now and (
+                                accept is None or accept(e[2])):
+                            candidates.append(e)
+                            cand_index.append(i)
                 else:
-                    candidates = [e for e in entries if e[2].ready_at <= now]
+                    for i, e in enumerate(entries):
+                        if e[2].ready_at <= now:
+                            candidates.append(e)
+                            cand_index.append(i)
                 if not candidates:
                     continue
                 winner = arbiter.choose(node, out_port, candidates, now)
                 if winner is None:
                     continue
-                entry = candidates[winner]
-                self._forward(router, downstream, out_port, entry, now)
+                self._forward(router, downstream, out_port,
+                              candidates[winner], cand_index[winner], now)
 
     def _forward(self, router: Router, downstream: Optional[Router],
-                 out_port: int, entry: list, now: int) -> None:
+                 out_port: int, entry: list, index: int, now: int) -> None:
+        # Entry fields must be read before removal: the removal path
+        # recycles the entry list into the router's allocation pool.
+        in_port = entry[0]
         pkt = entry[2]
-        router.remove_entry(out_port, entry, now)
+        # Inline of ``router.remove_entry_at`` (one call per forwarded
+        # packet; must stay exactly equivalent to it).
+        entries = router.out_entries[out_port]
+        del entries[index]
+        if not entries:
+            router.port_mask &= ~(1 << out_port)
+        slot = in_port * router.n_vcs + entry[1]
+        router.vc_pkt[slot] = None
+        router.vc_free_at[slot] = now + pkt.flits
+        router.n_resident -= 1
+        entry[2] = None  # drop the packet reference before pooling
+        router._entry_pool.append(entry)
         node = router.node
 
         # The freed input VC may unblock the upstream router that feeds
         # this input port; wake it when the tail has drained.
-        in_port = entry[0]
         if in_port != LOCAL:
             up_node = self.neighbor_node[node][in_port]
             if up_node is not None:
@@ -363,7 +459,7 @@ class Network:
                     up.next_active = t
 
         trace = self.trace
-        combiner = self._combiners.get((node, out_port))
+        combiner = self._combiner_at[(node << 3) | out_port]
         if combiner is not None:
             before = combiner.packets_combined
             serialization = combiner.serialization_cycles(pkt)
@@ -388,13 +484,17 @@ class Network:
                     "latency": pkt.latency(now), "hops": pkt.hops,
                     "delayed_cycles": pkt.delayed_cycles,
                 })
-            sink = self.sinks.get(node)
+            sink = self._sink_at[node]
             if sink is not None:
                 sink(pkt, now)
             return
 
-        self.arbiter.on_forward(node, pkt, now, out_port)
-        self.stats.on_forward(pkt, now)
+        arb_forward = self._arb_fwd_at[node]
+        if arb_forward is not None:
+            arb_forward(node, pkt, now, out_port)
+        stats = self.stats
+        stats.link_traversals += 1
+        stats.flits_forwarded += pkt.flits
         if trace is not None:
             trace(now, EV_PKT_FORWARD, {
                 "pid": pkt.pid, "klass": pkt.klass.name,
@@ -402,12 +502,36 @@ class Network:
                 "bank": pkt.bank,
             })
         pkt.hops += 1
-        pkt.ready_at = now + self.hop_cycles
+        ready_at = pkt.ready_at = now + self.hop_cycles
         down_node = downstream.node
         in_p = OPPOSITE[out_port]
-        vc = downstream.free_vc(in_p, now)
-        next_out = self.routing.next_port(down_node, pkt)
-        downstream.accept(in_p, vc, pkt, next_out, pkt.ready_at)
+        # Inline of ``downstream.free_vc`` + ``downstream.accept`` (one
+        # call pair per forwarded packet; must stay exactly equivalent).
+        # Both route loops verified a free VC exists before arbitrating,
+        # so the claim scan always breaks.
+        n_vcs = downstream.n_vcs
+        base = in_p * n_vcs
+        pkts = downstream.vc_pkt
+        free_at = downstream.vc_free_at
+        for slot in range(base, base + n_vcs):
+            if pkts[slot] is None and free_at[slot] <= now:
+                break
+        pkts[slot] = pkt
+        pool = downstream._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = in_p
+            entry[1] = slot - base
+            entry[2] = pkt
+            entry[3] = ready_at
+        else:
+            entry = [in_p, slot - base, pkt, ready_at]
+        out_p = self._next_port(down_node, pkt)
+        downstream.out_entries[out_p].append(entry)
+        downstream.port_mask |= 1 << out_p
+        downstream.n_resident += 1
+        if ready_at < downstream.next_active:
+            downstream.next_active = ready_at
         # The accept consumed a downstream VC, which can flip the
         # bank-aware arbiter's VC-pressure release.  The dense loop sees
         # that this very cycle when the downstream router is scanned
@@ -440,9 +564,11 @@ class Network:
             nxt = now + period - now % period
         routers = self.routers
         for node in self._active_routers:
-            t = routers[node].next_active
-            if t < nxt:
-                nxt = t
+            router = routers[node]
+            if router.n_resident:
+                t = router.next_active
+                if t < nxt:
+                    nxt = t
         for node in self._nonempty_sources:
             queue = self.source_queues[node]
             if not queue:

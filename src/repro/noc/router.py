@@ -12,13 +12,25 @@ equivalent to (and much faster than) re-running route computation every
 cycle for every buffered flit.
 
 For the event-driven scheduler the router additionally maintains an
-*active output-port set* (ports that hold at least one parked entry,
-kept incrementally by :meth:`accept`/:meth:`remove_entry`) and a
-``next_active`` wake hint: a lower bound on the next cycle at which any
-entry at this router could possibly move.  The network may skip the
-router entirely until that cycle; any state change that could enable
-earlier progress (a new entry arriving, an upstream VC freeing) lowers
-the hint again.
+*active output-port set* (``port_mask``, one bit per port holding at
+least one parked entry, kept incrementally by :meth:`accept` and the
+removal paths) and a ``next_active`` wake hint: a lower bound on the
+next cycle at which any entry at this router could possibly move.  The
+network may skip the router entirely until that cycle; any state change
+that could enable earlier progress (a new entry arriving, an upstream VC
+freeing) lowers the hint again.
+
+Hot-path state layout
+---------------------
+Per-port/per-VC state is stored *flat*: ``vc_pkt`` and ``vc_free_at``
+are single preallocated lists indexed ``port * n_vcs + vc`` so the
+per-cycle VC scans touch one list object instead of walking a
+list-of-lists.  Candidate-queue entries (``[in_port, vc, pkt,
+arrival]``) are recycled through a per-router free list: :meth:`accept`
+pops from the pool and :meth:`remove_entry_at` pushes back, so steady
+state allocates no entry lists at all.  Removal is by *index* (the
+caller tracked where the entry sits in its queue), preserving FIFO
+candidate order exactly -- no value-equality ``list.remove`` scan.
 """
 
 from __future__ import annotations
@@ -31,51 +43,69 @@ from repro.noc.topology import LOCAL, N_PORTS
 #: Sentinel "never" wake cycle for the event-driven scheduler.
 NEVER = 1 << 60
 
+#: port_mask -> ascending tuple of set port indices (7 ports -> 128 rows);
+#: lets the route loop visit only occupied output ports in dense order.
+MASK_PORTS = tuple(
+    tuple(p for p in range(N_PORTS) if (mask >> p) & 1)
+    for mask in range(1 << N_PORTS)
+)
+
 
 class Router:
     """One 7-port (4 cardinal + up/down + local) mesh router."""
 
     __slots__ = (
-        "node", "n_vcs", "vcs", "vc_free_at", "out_busy_until",
-        "out_entries", "n_resident", "next_active",
+        "node", "n_vcs", "vc_pkt", "vc_free_at", "out_busy_until",
+        "out_entries", "port_mask", "n_resident", "next_active",
+        "_entry_pool",
     )
 
     def __init__(self, node: int, n_vcs: int):
         self.node = node
         self.n_vcs = n_vcs
-        #: vcs[port][vc] -> resident/reserved Packet or None
-        self.vcs: List[List[Optional[Packet]]] = [
-            [None] * n_vcs for _ in range(N_PORTS)
-        ]
+        #: vc_pkt[port * n_vcs + vc] -> resident/reserved Packet or None
+        self.vc_pkt: List[Optional[Packet]] = [None] * (N_PORTS * n_vcs)
         #: cycle until which a drained VC is still occupied by a tail
-        self.vc_free_at: List[List[int]] = [
-            [0] * n_vcs for _ in range(N_PORTS)
-        ]
+        self.vc_free_at: List[int] = [0] * (N_PORTS * n_vcs)
         self.out_busy_until: List[int] = [0] * N_PORTS
         #: out_entries[port] -> list of [in_port, vc, pkt, arrival_cycle]
         self.out_entries: List[List[list]] = [[] for _ in range(N_PORTS)]
+        #: bit ``p`` set iff ``out_entries[p]`` is non-empty
+        self.port_mask = 0
         self.n_resident = 0
         #: earliest cycle any entry here could possibly move (lower bound)
         self.next_active = 0
+        #: recycled entry lists (allocation pooling for the hot loop)
+        self._entry_pool: List[list] = []
 
     # ------------------------------------------------------------------
 
+    @property
+    def vcs(self) -> List[List[Optional[Packet]]]:
+        """Nested ``[port][vc]`` view of the flat VC state (introspection
+        only -- the hot path indexes ``vc_pkt`` directly)."""
+        n = self.n_vcs
+        return [self.vc_pkt[p * n:(p + 1) * n] for p in range(N_PORTS)]
+
     def free_vc(self, port: int, now: int) -> int:
         """Index of a free VC at an input port, or -1."""
-        vcs = self.vcs[port]
-        free_at = self.vc_free_at[port]
-        for v in range(self.n_vcs):
-            if vcs[v] is None and free_at[v] <= now:
-                return v
+        pkts = self.vc_pkt
+        free_at = self.vc_free_at
+        base = port * self.n_vcs
+        for i in range(base, base + self.n_vcs):
+            if pkts[i] is None and free_at[i] <= now:
+                return i - base
         return -1
 
     def free_vc_count(self, port: int, now: int) -> int:
-        vcs = self.vcs[port]
-        free_at = self.vc_free_at[port]
-        return sum(
-            1 for v in range(self.n_vcs)
-            if vcs[v] is None and free_at[v] <= now
-        )
+        pkts = self.vc_pkt
+        free_at = self.vc_free_at
+        base = port * self.n_vcs
+        count = 0
+        for i in range(base, base + self.n_vcs):
+            if pkts[i] is None and free_at[i] <= now:
+                count += 1
+        return count
 
     def next_free_vc_at(self, port: int, now: int) -> int:
         """Earliest cycle a VC at ``port`` becomes allocatable.
@@ -85,12 +115,13 @@ class Router:
         when every VC still holds a resident packet (a release -- an
         *activity* at this router -- is needed first).
         """
-        vcs = self.vcs[port]
-        free_at = self.vc_free_at[port]
+        pkts = self.vc_pkt
+        free_at = self.vc_free_at
+        base = port * self.n_vcs
         best = NEVER
-        for v in range(self.n_vcs):
-            if vcs[v] is None:
-                t = free_at[v]
+        for i in range(base, base + self.n_vcs):
+            if pkts[i] is None:
+                t = free_at[i]
                 if t <= now:
                     return now
                 if t < best:
@@ -101,23 +132,63 @@ class Router:
                arrival: int) -> None:
         """Reserve an input VC for an incoming packet and park it on its
         output-port candidate queue."""
-        self.vcs[port][vc] = pkt
-        self.out_entries[out_port].append([port, vc, pkt, arrival])
+        self.vc_pkt[port * self.n_vcs + vc] = pkt
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = port
+            entry[1] = vc
+            entry[2] = pkt
+            entry[3] = arrival
+        else:
+            entry = [port, vc, pkt, arrival]
+        self.out_entries[out_port].append(entry)
+        self.port_mask |= 1 << out_port
         self.n_resident += 1
         if arrival < self.next_active:
             self.next_active = arrival
 
-    def remove_entry(self, out_port: int, entry: list, now: int) -> None:
-        """Unpark a forwarded entry and free its input VC."""
+    def remove_entry_at(self, out_port: int, index: int, now: int) -> None:
+        """Unpark the entry at ``index`` of an output queue and free its
+        input VC; the entry list is recycled into the pool.
+
+        The :meth:`release` body is inlined -- this runs once per
+        forwarded packet."""
         entries = self.out_entries[out_port]
-        entries.remove(entry)
-        self.release(entry, now)
+        entry = entries[index]
+        del entries[index]
+        if not entries:
+            self.port_mask &= ~(1 << out_port)
+        slot = entry[0] * self.n_vcs + entry[1]
+        self.vc_pkt[slot] = None
+        self.vc_free_at[slot] = now + entry[2].flits
+        self.n_resident -= 1
+        entry[2] = None  # drop the packet reference before pooling
+        self._entry_pool.append(entry)
+
+    def remove_entry(self, out_port: int, entry: list, now: int) -> None:
+        """Unpark a forwarded entry and free its input VC.
+
+        Identity-based: finds the exact ``entry`` object, never a merely
+        value-equal sibling (the same packet object may appear in more
+        than one entry in pathological/test scenarios, and pooled entry
+        lists make value equality meaningless).
+        """
+        entries = self.out_entries[out_port]
+        for index, candidate in enumerate(entries):
+            if candidate is entry:
+                self.remove_entry_at(out_port, index, now)
+                return
+        raise ValueError(
+            f"entry not parked at node {self.node} port {out_port}"
+        )
 
     def release(self, entry: list, now: int) -> None:
         """Free the input VC after the packet's tail has drained."""
         port, vc, pkt, _arrival = entry
-        self.vcs[port][vc] = None
-        self.vc_free_at[port][vc] = now + pkt.flits
+        slot = port * self.n_vcs + vc
+        self.vc_pkt[slot] = None
+        self.vc_free_at[slot] = now + pkt.flits
         self.n_resident -= 1
 
     # ------------------------------------------------------------------
@@ -126,32 +197,36 @@ class Router:
 
     def queued_flits(self) -> int:
         """Total flits buffered across all candidate queues."""
-        return sum(
-            entry[2].flits
-            for entries in self.out_entries
-            for entry in entries
-        )
+        total = 0
+        for entries in self.out_entries:
+            for entry in entries:
+                total += entry[2].flits
+        return total
 
     def queued_packets(self, out_port: Optional[int] = None) -> int:
         if out_port is None:
-            return sum(len(entries) for entries in self.out_entries)
+            count = 0
+            for entries in self.out_entries:
+                count += len(entries)
+            return count
         return len(self.out_entries[out_port])
 
     def max_output_residual(self, now: int) -> int:
         """Largest remaining output-link busy time across ports."""
         residual = 0
+        busy = self.out_busy_until
         for port in range(N_PORTS):
             if port == LOCAL:
                 continue
-            left = self.out_busy_until[port] - now
+            left = busy[port] - now
             if left > residual:
                 residual = left
         return residual
 
     def occupancy(self) -> float:
         """Fraction of input VCs currently holding a packet."""
-        held = sum(
-            1 for port_vcs in self.vcs for pkt in port_vcs
-            if pkt is not None
-        )
+        held = 0
+        for pkt in self.vc_pkt:
+            if pkt is not None:
+                held += 1
         return held / float(N_PORTS * self.n_vcs)

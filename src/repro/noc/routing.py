@@ -15,11 +15,23 @@ Three routing behaviours from the paper coexist:
 All of these are expressed with a single ``via`` waypoint carried by the
 packet: route X-Y to the waypoint in the current layer, then vertically to
 the destination layer, then X-Y to the destination.
+
+Routing-table precomputation
+----------------------------
+The topology (and any region restriction) is static, so the whole
+dimension-ordered step function is precomputed at construction:
+``_xy_table[node][target_offset]`` holds the X-Y output port from
+``node`` toward the node at ``target_offset`` within the same layer.
+:meth:`next_port` -- one call per hop on the executed-cycle hot path --
+is then pure integer arithmetic plus two list indexes: no dict lookups,
+no coordinate decomposition, no memo-key tuple hashing.
+:meth:`_compute_port` keeps the original closed-form derivation as the
+reference the table is verified against (tests/test_routing.py).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
 from repro.errors import RoutingError
 from repro.noc.packet import Packet, PacketClass
@@ -40,10 +52,23 @@ class RoutingPolicy:
     def __init__(self, topo: Mesh3D, region_map=None):
         self.topo = topo
         self.region_map = region_map
-        #: (node, dst, via) -> (out_port, via_after): route decisions are
-        #: pure in these three values, so the hot per-hop computation is
-        #: memoised across packets.
-        self._port_memo: dict = {}
+        self._npl = topo.nodes_per_layer
+        #: _xy_table[node][offset] -> X-Y port from ``node`` toward the
+        #: same-layer node at layer-local ``offset`` (LOCAL on self).
+        width = topo.width
+        self._xy_table: List[List[int]] = []
+        for node in range(topo.n_nodes):
+            _layer, x, y = topo.coords(node)
+            row = []
+            for offset in range(self._npl):
+                ty, tx = divmod(offset, width)
+                if x != tx:
+                    row.append(EAST if tx > x else WEST)
+                elif y != ty:
+                    row.append(NORTH if ty > y else SOUTH)
+                else:
+                    row.append(LOCAL)
+            self._xy_table.append(row)
 
     # ------------------------------------------------------------------
 
@@ -68,6 +93,11 @@ class RoutingPolicy:
             # request convergence toward the TSBs.
             _dlayer, dx, dy = self.topo.coords(pkt.dst)
             pkt.via = self.topo.node_id(src_layer, dx, dy)
+        if pkt.via is not None and \
+                self.topo.layer_of(pkt.via) != src_layer:
+            raise RoutingError(
+                f"waypoint {pkt.via} is not in layer {src_layer}"
+            )
         return pkt
 
     # ------------------------------------------------------------------
@@ -83,17 +113,29 @@ class RoutingPolicy:
         """Output port for ``pkt`` at ``node``.
 
         Consumes the ``via`` waypoint when the packet reaches it.
+        Table-driven hot path: matches :meth:`_compute_port` exactly.
         """
-        key = (node, pkt.dst, pkt.via)
-        hit = self._port_memo.get(key)
-        if hit is None:
-            hit = self._compute_port(node, pkt.dst, pkt.via)
-            self._port_memo[key] = hit
-        pkt.via = hit[1]
-        return hit[0]
+        dst = pkt.dst
+        if node == dst:
+            return LOCAL
+        npl = self._npl
+        via = pkt.via
+        if via is not None:
+            if via != node:
+                return self._xy_table[node][
+                    via - npl if via >= npl else via]
+            pkt.via = None
+        if dst >= npl:
+            if node < npl:
+                return DOWN
+            return self._xy_table[node][dst - npl]
+        if node >= npl:
+            return UP
+        return self._xy_table[node][dst]
 
     def _compute_port(self, node: int, dst: int, via):
-        """Uncached (out_port, via_after) for one routing step."""
+        """Closed-form (out_port, via_after) reference for one routing
+        step; the precomputed table path must agree with it."""
         if node == dst:
             return (LOCAL, via)
         layer, x, y = self.topo.coords(node)

@@ -11,6 +11,12 @@ from repro.obs.metrics import percentiles_from_hist
 class NetworkStats:
     """Counters and latency accumulators for one simulation run."""
 
+    __slots__ = (
+        "injected", "delivered", "latency_sum", "hop_sum",
+        "flits_forwarded", "link_traversals", "tsb_combined_flit_pairs",
+        "delayed_cycle_sum", "max_latency", "latency_hist",
+    )
+
     def __init__(self):
         self.injected: Dict[PacketClass, int] = {k: 0 for k in PacketClass}
         self.delivered: Dict[PacketClass, int] = {k: 0 for k in PacketClass}

@@ -300,6 +300,78 @@ def run_perf_smoke(seed: int = 1) -> Dict:
     return run_perf(seed=seed, repeats=2, labels=(TARGET_CONFIG,))
 
 
+def run_profile(label: str = TARGET_CONFIG, scheduler: str = "event",
+                cycles: int = 30_000, warmup: int = 2_000, seed: int = 1,
+                top: int = 25) -> Dict:
+    """Profile one benchmark config under ``cProfile``.
+
+    Returns a JSON-serialisable report with the top-``top`` hotspots
+    ranked by cumulative and by internal (self) time, so perf PRs can
+    cite evidence instead of guessing; ``repro.cli perf --profile``
+    prints it with :func:`format_profile` and dumps the JSON.
+    """
+    import cProfile
+    import pstats
+
+    for config_label, scheme, overrides in PERF_CONFIGS:
+        if config_label == label:
+            break
+    else:
+        raise ValueError(f"unknown perf config {label!r}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run = run_one(label, scheme, overrides, scheduler, cycles, warmup, seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    hotspots = []
+    for (filename, lineno, name), row in stats.stats.items():
+        cc, nc, tt, ct, _callers = row
+        hotspots.append({
+            "function": name,
+            "file": filename,
+            "line": lineno,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    by_cumulative = sorted(
+        hotspots, key=lambda h: h["cumtime"], reverse=True)[:top]
+    by_self = sorted(
+        hotspots, key=lambda h: h["tottime"], reverse=True)[:top]
+    return {
+        "benchmark": "profile",
+        "label": label,
+        "scheduler": scheduler,
+        "cycles": cycles,
+        "warmup": warmup,
+        "seed": seed,
+        "top": top,
+        "cycles_per_sec": round(run["cycles_per_sec"], 1),
+        "executed_cycles": run["executed_cycles"],
+        "total_cycles": run["total_cycles"],
+        "by_cumulative": by_cumulative,
+        "by_self": by_self,
+    }
+
+
+def format_profile(report: Dict) -> str:
+    lines = [
+        f"profile: {report['label']} ({report['scheduler']} scheduler, "
+        f"{report['executed_cycles']}/{report['total_cycles']} cycles "
+        f"executed, {report['cycles_per_sec']:.0f} cyc/s)",
+        f"top {report['top']} by cumulative time:",
+        f"  {'cumtime':>9s} {'tottime':>9s} {'ncalls':>9s}  function",
+    ]
+    for row in report["by_cumulative"]:
+        where = f"{row['file']}:{row['line']}" if row["line"] else ""
+        lines.append(
+            f"  {row['cumtime']:9.4f} {row['tottime']:9.4f} "
+            f"{row['ncalls']:9d}  {row['function']} {where}"
+        )
+    return "\n".join(lines)
+
+
 def check_regression(current: Dict, baseline: Dict,
                      tolerance: float = 0.2) -> List[str]:
     """Compare a fresh report against the committed baseline.

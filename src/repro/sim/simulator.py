@@ -375,20 +375,23 @@ class CMPSimulator:
             state = sleep.get(cid)
             if state is not None and state[2] == wake:
                 self._wake_core(cid, now)
-        for i in sorted(self._active_mcs):
-            mc = self.mcs[i]
-            mc.step(now)
-            if mc.idle():
-                self._active_mcs.discard(i)
+        if self._active_mcs:
+            for i in sorted(self._active_mcs):
+                mc = self.mcs[i]
+                mc.step(now)
+                if mc.idle():
+                    self._active_mcs.discard(i)
+        banks = self.banks
         for b in sorted(self._active_banks):
-            bank = self.banks[b]
+            bank = banks[b]
             if bank.busy_until > now:
                 continue  # dense step would return immediately
             bank.step(now)
             if bank.next_event_cycle(now) == NEVER:
                 self._active_banks.discard(b)
+        cores = self.cores
         for cid in sorted(self._active_cores):
-            core = self.cores[cid]
+            core = cores[cid]
             status = core.step(now)
             if status == CORE_RUN:
                 continue
@@ -484,11 +487,17 @@ class CMPSimulator:
             )
         for _ in range(warmup):
             self.step()
+        self._flush_lazy()
         committed_at_start = [c.stats.committed for c in self.cores]
         start_cycle = self.cycle
         self._reset_measurement_stats()
         for _ in range(cycles):
             self.step()
+        # No-op under the pure dense schedule (no sleeping cores, no
+        # parked entries), but it lets the active-set route loop run
+        # under dense stepping (use_reference_loop=False) with its
+        # parked-delay accrual flushed at the same boundary.
+        self._flush_lazy()
         if self._obs is not None:
             self._obs.on_run_end(self)
         return SimulationResult.collect(
