@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Chaos demo: kill a region's vertical TSB link mid-run and measure
+the degraded-mode cost.
+
+Runs the same workload twice on the MRAM-4TSB-WB scheme with invariant
+guards enabled -- once fault-free, once with region 0's TSB failing
+stuck-at partway through warmup so its banks remap onto the nearest
+healthy donor region -- and prints the latency/throughput delta plus
+the fault-plane and guard reports.  Both runs are fully deterministic:
+re-running this script reproduces every number byte for byte.
+
+Usage:
+    python examples/chaos_run.py [app] [mesh_width]
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.noc.packet import reset_packet_ids
+from repro.resilience import FaultConfig
+from repro.sim.config import Scheme, make_config
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.mixes import homogeneous
+
+CYCLES = 4_000
+WARMUP = 1_500
+FAIL_REGION = 0
+
+
+def run(app: str, mesh_width: int, faults=None):
+    reset_packet_ids()
+    config = make_config(Scheme.STTRAM_4TSB_WB, mesh_width=mesh_width,
+                         capacity_scale=1 / 16)
+    sim = CMPSimulator(config, homogeneous(app, config, seed=1),
+                       guard=True, faults=faults)
+    result = sim.run(CYCLES, warmup=WARMUP)
+    return sim, result
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "tpcc"
+    mesh_width = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Running {app} on {Scheme.STTRAM_4TSB_WB.value} "
+          f"({mesh_width}x{mesh_width} mesh per layer), "
+          "guards enabled...")
+    _, healthy = run(app, mesh_width)
+
+    faults = FaultConfig(seed=7,
+                         tsb_failures=((FAIL_REGION, WARMUP // 2),))
+    print(f"Re-running with region {FAIL_REGION}'s TSB failing "
+          f"stuck-at at cycle {WARMUP // 2}...")
+    sim, degraded = run(app, mesh_width, faults=faults)
+
+    rows = []
+    for label, result in (("healthy", healthy), ("tsb-failed", degraded)):
+        rows.append([
+            label,
+            round(result.instruction_throughput(), 3),
+            round(result.avg_packet_latency, 1),
+            round(result.latency_p95),
+            round(result.avg_bank_queue_wait, 1),
+            result.packets_delivered,
+        ])
+    print()
+    print(format_table(
+        ["run", "throughput", "pkt latency", "p95",
+         "bank queue (cyc)", "delivered"],
+        rows,
+        title=f"{app}: fault-free vs degraded (seed-deterministic)",
+    ))
+
+    report = sim.fault_plane.report()
+    donor = report["tsb_remapped"][FAIL_REGION]
+    delta = degraded.avg_packet_latency - healthy.avg_packet_latency
+    ratio = (degraded.instruction_throughput()
+             / healthy.instruction_throughput()
+             if healthy.instruction_throughput() else 0.0)
+    print()
+    print(f"Region {FAIL_REGION} degraded onto donor region {donor}; "
+          f"{report['packets_rerouted']} in-flight packets rerouted.")
+    print(f"Degraded-mode latency delta: {delta:+.1f} cycles average "
+          f"packet latency; throughput at {100 * ratio:.1f}% of "
+          "fault-free.")
+    print(f"Invariant guard: {sim.guard.checks_run} checks, "
+          f"{sim.guard.violations} violations -- the remapped network "
+          "still conserves every flit and credit.")
+
+
+if __name__ == "__main__":
+    main()

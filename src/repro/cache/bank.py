@@ -28,7 +28,7 @@ from repro.cache.mshr import MSHRFile
 from repro.cache.write_buffer import WriteBuffer
 from repro.noc.packet import Packet, PacketClass
 from repro.noc.router import NEVER
-from repro.obs.events import EV_BANK_END, EV_BANK_START
+from repro.obs.events import EV_BANK_END, EV_BANK_START, EV_FAULT_REDIRECT
 from repro.sim.config import SystemConfig
 
 #: send(klass, dst_node, flits, is_write, bank, payload) -> None
@@ -125,6 +125,17 @@ class BankController:
         #: observability emit callable; None when tracing is detached
         self.trace = None
 
+        # Fault model: while ``now < port_failed_until`` the array port
+        # is dead.  Queued work that has waited ``port_redirect_after``
+        # cycles times out and is redirected around the array (reads
+        # fetch from memory, writes write through).  Both stay 0 in
+        # fault-free runs, so the hot path pays one integer compare.
+        self.port_failed_until = 0
+        self.port_redirect_after = 0
+        self.redirected_reads = 0
+        self.redirected_writes = 0
+        self.redirected_fills = 0
+
         self.log_accesses = log_accesses
         #: (cycle, is_write) service-start log for the Figure 3 analysis
         self.access_log: List[Tuple[int, bool]] = []
@@ -199,6 +210,9 @@ class BankController:
             return
         if self._current_op is not None:
             self._complete_op(now)
+        if now < self.port_failed_until:
+            self._step_port_failed(now)
+            return
         queue = self.queue
         if queue:
             kind, payload, arrival = queue.popleft()
@@ -222,6 +236,81 @@ class BankController:
                         "service": service,
                         "queue_depth": len(queue),
                     })
+
+    # ------------------------------------------------------------------
+    # Port-failure fault model
+    # ------------------------------------------------------------------
+
+    def fail_port(self, now: int, until: int, redirect_after: int) -> None:
+        """Kill the array port until ``until`` (NEVER = permanent).
+
+        Queued work times out after ``redirect_after`` cycles of waiting
+        and is redirected around the dead array.
+        """
+        self.port_failed_until = until
+        self.port_redirect_after = redirect_after
+
+    def _step_port_failed(self, now: int) -> None:
+        """Drain timed-out queue entries while the array port is dead.
+
+        The array itself is unreachable (the port is the fault), so no
+        lookups, fills or drains happen here -- only redirects.
+        """
+        queue = self.queue
+        redirect_after = self.port_redirect_after
+        stats = self.stats
+        while queue and now - queue[0][2] >= redirect_after:
+            kind, payload, arrival = queue.popleft()
+            waited = now - arrival
+            stats.queue_wait_sum += waited
+            stats.queue_wait_samples += 1
+            trace = self.trace
+            if trace is not None:
+                trace(now, EV_FAULT_REDIRECT, {
+                    "bank": self.bank, "op": kind, "waited": waited,
+                })
+            self._redirect(kind, payload, now)
+
+    def _redirect(self, kind: str, payload, now: int) -> None:
+        """Service one request without touching the failed array."""
+        if kind == "read":
+            self.redirected_reads += 1
+            txn: Transaction = payload
+            txn.service_start = now
+            txn.l2_hit = False
+            primary = self.mshrs.allocate(txn.block, waiter=txn)
+            if primary is None:
+                primary = self.mshrs.force_allocate(txn.block, waiter=txn)
+            if primary:
+                self._emit_memory_read(txn.block, now)
+        elif kind == "write":
+            self.redirected_writes += 1
+            txn = payload
+            txn.service_start = now
+            self._emit_memory_write(txn.block, now)
+            if txn.kind == "writeback":
+                self.directory.on_writeback(txn.core, txn.block)
+            elif txn.kind == "store":
+                invals = self.directory.on_store_write(txn.core, txn.block)
+                self._emit_coherence(invals, None, now)
+        elif kind == "fill":
+            # Bypass-respond: forward the returned data to all waiters
+            # without installing the block (the array is unreachable).
+            self.redirected_fills += 1
+            msg: MemMsg = payload
+            block = msg.block
+            for txn in self.mshrs.complete(block):
+                msgs = self.directory.on_request(
+                    txn.core, block, txn.is_store)
+                owner_forward = self._emit_coherence(msgs, txn, now)
+                txn.l2_hit = False
+                if not owner_forward:
+                    self._emit_response(txn, now)
+        elif kind == "migrate":
+            # The dirty SRAM victim cannot land in the STT-RAM array;
+            # write it through to memory instead.
+            self.redirected_writes += 1
+            self._emit_memory_write(payload, now)
 
     # ------------------------------------------------------------------
     # Operation lifecycle
@@ -470,6 +559,19 @@ class BankController:
         by the event-driven scheduler's cycle-skip fast path."""
         if self.busy_until > now:
             return self.busy_until
+        if now < self.port_failed_until:
+            if self._current_op is not None:
+                return now + 1  # completion still pending
+            heal = self.port_failed_until
+            if self.queue:
+                timeout = self.queue[0][2] + self.port_redirect_after
+                return min(max(timeout, now + 1), heal)
+            if (
+                self.write_buffer is not None
+                and self.write_buffer.pending_drains() > 0
+            ):
+                return heal
+            return NEVER
         if self._current_op is not None or self.queue:
             return now + 1
         if (

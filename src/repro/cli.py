@@ -8,6 +8,7 @@ Subcommands::
     python -m repro fig3 --app tpcc
     python -m repro perf --out BENCH_perf.json
     python -m repro sweep --apps tpcc,mcf --workers 4 --out sweep.json
+    python -m repro chaos --app tpcc --fault crc --verify-determinism
     python -m repro trace --app tpcc --out trace.jsonl --chrome trace.json
     python -m repro report --app tpcc
     python -m repro list
@@ -15,6 +16,9 @@ Subcommands::
 All experiment subcommands accept ``--mesh-width``, ``--capacity-scale``,
 ``--cycles``, ``--warmup`` and ``--seed``; ``run`` also accepts
 ``--json`` for machine-readable output.
+
+Configuration errors (and any other typed ``ReproError``) exit with
+status 2 and a one-line message on stderr rather than a traceback.
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ from typing import Optional, Sequence
 
 from repro.analysis.access_dist import distribution_for_app
 from repro.analysis.tables import format_histogram, format_table
-from repro.sim.config import ALL_SCHEMES, Scheme, make_config
+from repro.errors import ReproError
+from repro.sim.config import ALL_SCHEMES, Scheme, make_config, parse_scheme
 from repro.sim.experiment import app_factory, compare_schemes, run_scheme
 from repro.workloads.benchmarks import (
     all_benchmarks, characterization_table,
@@ -135,7 +140,46 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRACTION",
                          help="exit nonzero when the cache hit rate "
                               "falls below this fraction (CI gate)")
+    sweep_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="journal finished points to this snapshot "
+                              "file; a killed sweep resumes from it")
+    sweep_p.add_argument("--checkpoint-every", type=_positive_int,
+                         default=1, metavar="N",
+                         help="flush the checkpoint every N points")
+    sweep_p.add_argument("--expect-min-resumed", type=int, default=None,
+                         metavar="N",
+                         help="exit nonzero when fewer than N points "
+                              "were resumed from the checkpoint (CI gate)")
     _add_common(sweep_p)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run one scheme under deterministic fault "
+                      "injection with invariant guards enabled")
+    chaos_p.add_argument("--app", default="tpcc")
+    chaos_p.add_argument("--scheme", default=Scheme.STTRAM_4TSB_WB.value,
+                         choices=sorted(_SCHEME_BY_NAME))
+    chaos_p.add_argument("--fault", default="all",
+                         choices=("crc", "tsb", "bank-port", "all"),
+                         help="which fault model(s) to inject")
+    chaos_p.add_argument("--fault-seed", type=int, default=7,
+                         help="seed of the fault plane's RNG (a fixed "
+                              "seed makes the run exactly reproducible)")
+    chaos_p.add_argument("--crc-rate", type=float, default=0.005,
+                         help="per-link-traversal corruption probability")
+    chaos_p.add_argument("--bank-fail-duration", type=int, default=500,
+                         help="bank-port outage length in cycles "
+                              "(0 = permanent)")
+    chaos_p.add_argument("--scheduler", default="event",
+                         choices=("event", "dense"))
+    chaos_p.add_argument("--json", action="store_true")
+    chaos_p.add_argument("--expect-retransmits", type=int, default=None,
+                         metavar="N",
+                         help="exit nonzero when fewer than N "
+                              "retransmissions happened (CI gate)")
+    chaos_p.add_argument("--verify-determinism", action="store_true",
+                         help="run twice and require byte-identical "
+                              "results")
+    _add_common(chaos_p)
 
     trace_p = sub.add_parser(
         "trace", help="run one scheme with event tracing enabled")
@@ -287,14 +331,9 @@ def _cmd_sweep(args) -> int:
 
     apps = [a for a in args.apps.split(",") if a]
     if args.schemes:
-        try:
-            schemes = tuple(
-                _SCHEME_BY_NAME[s] for s in args.schemes.split(",") if s
-            )
-        except KeyError as exc:
-            print(f"unknown scheme {exc.args[0]!r}; choose from "
-                  f"{', '.join(sorted(_SCHEME_BY_NAME))}", file=sys.stderr)
-            return 2
+        schemes = tuple(
+            parse_scheme(s) for s in args.schemes.split(",") if s
+        )
     else:
         schemes = ALL_SCHEMES
 
@@ -308,6 +347,8 @@ def _cmd_sweep(args) -> int:
     sweep = run_sweep(
         grid, progress, workers=args.workers, cache=args.cache,
         cache_dir=args.cache_dir, timeout=args.timeout, stats=stats,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
 
     throughput = sweep.normalized("instruction_throughput",
@@ -324,6 +365,8 @@ def _cmd_sweep(args) -> int:
         f"workers={resolve_workers(args.workers)} "
         f"hits={stats.cache_hits} misses={stats.cache_misses} "
         f"simulated={stats.simulated} retried={stats.retried} "
+        f"resumed={stats.resumed_points} "
+        f"evictions={stats.cache_evictions} "
         f"utilization={stats.utilization:.0%}"
     )
     if args.out:
@@ -339,6 +382,93 @@ def _cmd_sweep(args) -> int:
             return 1
         print(f"cache hit rate {stats.hit_rate:.0%} >= "
               f"{args.expect_min_hits:.0%}")
+    if args.expect_min_resumed is not None:
+        if stats.resumed_points < args.expect_min_resumed:
+            print(
+                f"TOO FEW RESUMED POINTS: {stats.resumed_points} < "
+                f"required {args.expect_min_resumed}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"resumed {stats.resumed_points} points >= "
+              f"{args.expect_min_resumed}")
+    return 0
+
+
+def _chaos_fault_config(args, config):
+    """Build the FaultConfig for the chaos subcommand's fault choice."""
+    from repro.resilience import FaultConfig
+
+    fire_at = max(1, args.warmup // 2)
+    kwargs = dict(seed=args.fault_seed)
+    if args.fault in ("crc", "all"):
+        kwargs["crc_rate"] = args.crc_rate
+    if args.fault in ("tsb", "all"):
+        kwargs["tsb_failures"] = ((0, fire_at),)
+    if args.fault in ("bank-port", "all"):
+        duration = args.bank_fail_duration or None
+        kwargs["bank_port_failures"] = (
+            (config.n_banks // 2, fire_at, duration),
+        )
+    return FaultConfig(**kwargs)
+
+
+def _cmd_chaos(args) -> int:
+    from repro.noc.packet import reset_packet_ids
+    from repro.sim.simulator import CMPSimulator
+
+    scheme = _SCHEME_BY_NAME[args.scheme]
+    config = make_config(scheme, **_overrides(args))
+    faults = _chaos_fault_config(args, config)
+
+    def one_run():
+        reset_packet_ids()
+        workload = app_factory(args.app, seed=args.seed)(config)
+        sim = CMPSimulator(config, workload, scheduler=args.scheduler,
+                           guard=True, faults=faults)
+        result = sim.run(args.cycles, warmup=args.warmup)
+        return sim, result
+
+    sim, result = one_run()
+    payload = {
+        "app": args.app,
+        "scheme": scheme.value,
+        "fault": args.fault,
+        "faults": sim.fault_plane.report(),
+        "guard": sim.guard.report(),
+        "result": result.to_dict(),
+    }
+
+    if args.verify_determinism:
+        _sim2, result2 = one_run()
+        identical = result.to_dict() == result2.to_dict()
+        payload["deterministic"] = identical
+        if not identical:
+            print("DETERMINISM VIOLATION: two runs with the same fault "
+                  "seed diverged", file=sys.stderr)
+            return 1
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        fp = payload["faults"]
+        print(format_table(
+            ["counter", "value"],
+            [[k, v] for k, v in sorted(fp.items())
+             if not isinstance(v, dict)],
+            title=f"{args.app} under {scheme.value} "
+                  f"(fault={args.fault}, seed={args.fault_seed})"))
+        print(f"guard: {payload['guard']['checks_run']} checks, "
+              f"{payload['guard']['violations']} violations")
+        if args.verify_determinism:
+            print("determinism verified: two runs byte-identical")
+
+    if args.expect_retransmits is not None:
+        got = payload["faults"]["retransmits"]
+        if got < args.expect_retransmits:
+            print(f"TOO FEW RETRANSMITS: {got} < required "
+                  f"{args.expect_retransmits}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -421,6 +551,7 @@ _COMMANDS = {
     "fig3": _cmd_fig3,
     "perf": _cmd_perf,
     "sweep": _cmd_sweep,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "report": _cmd_report,
     "list": _cmd_list,
@@ -429,7 +560,13 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Typed simulator/config errors are user errors, not crashes:
+        # one line on stderr and a distinct exit status.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -219,10 +219,38 @@ class BankAwareArbiter(RoundRobinArbiter):
                 self.choose_at[node] = rr_choose
         #: node-indexed forward hook: only parent nodes charge the busy
         #: tracker, every other node's hook is a no-op the network skips.
-        self.forward_hook_at = [
+        #: Mutated in place on rebind: the network captured this exact
+        #: list at construction, and ``refresh_topology`` (TSB-failure
+        #: remap) must update it through that alias.
+        hooks = [
             self.on_forward if node in self._children else None
             for node in range(len(self.choose_at))
         ]
+        existing = getattr(self, "forward_hook_at", None)
+        if existing is None:
+            self.forward_hook_at = hooks
+        else:
+            existing[:] = hooks
+
+    def refresh_topology(self) -> None:
+        """Rebuild parent/child state after a region-map change.
+
+        Fault injection (stuck-at TSB remap) rewrites the region map's
+        parent/child assignment; the arbiter's cached child sets, travel
+        times and per-node dispatch tables must follow.
+        """
+        region_map = self.region_map
+        self._children = {
+            node: frozenset(banks)
+            for node, banks in region_map.children_of.items()
+        }
+        self._travel = [
+            self.tracker.travel_cycles(
+                region_map.expected_child_distance(b))
+            for b in range(self.config.n_banks)
+        ]
+        if self.network is not None:
+            self.bind(self.network)
 
     def choose(self, node: int, out_port: int, entries: List[list],
                now: int) -> Optional[int]:

@@ -60,6 +60,13 @@ class CongestionEstimator:
     def tick(self, now: int) -> None:
         """Per-cycle update (RCA propagation)."""
 
+    def on_topology_change(self, banks, now: int) -> None:
+        """Hook: the parent set of ``banks`` changed (TSB remap).
+
+        Fault-injection only; estimators drop state keyed under the
+        stale parents so new samples rebuild it for the new paths.
+        """
+
 
 class SimplisticEstimator(CongestionEstimator):
     """SS: the parent assumes zero congestion.
@@ -126,6 +133,11 @@ class RegionalCongestionEstimator(CongestionEstimator):
             agg[node] = min(
                 max_value, 0.5 * local_get(node, 0.0) + 0.5 * downstream
             )
+
+    def on_topology_change(self, banks, now: int) -> None:
+        drop = set(banks)
+        for key in [k for k in self._path_cache if k[1] in drop]:
+            del self._path_cache[key]
 
     def _path_nodes(self, parent_node: int, bank: int) -> Tuple[int, ...]:
         key = (parent_node, bank)
@@ -214,6 +226,12 @@ class WindowEstimator(CongestionEstimator):
         # than the parent router's cached wake hint assumed; wake it.
         if self.network is not None:
             self.network.poke_router(parent_node, now + 1)
+
+    def on_topology_change(self, banks, now: int) -> None:
+        drop = set(banks)
+        for table in (self._counters, self._estimates):
+            for key in [k for k in table if k[1] in drop]:
+                del table[key]
 
     def congestion_estimate(self, parent_node: int, bank: int,
                             now: int) -> int:

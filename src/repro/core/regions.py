@@ -89,6 +89,9 @@ class RegionMap:
         self.hop_distance = hop_distance
         #: bank -> parent-to-bank hop distance (arbitration hot path)
         self._child_distance: dict = {}
+        #: failed region index -> healthy region index it degraded onto
+        #: (stuck-at TSB fault injection; empty on fault-free runs)
+        self.failed_regions: Dict[int, int] = {}
 
         width = topo.width
         cols, rows = _region_grid(n_regions, width)
@@ -166,6 +169,49 @@ class RegionMap:
         self.children_of = {
             node: tuple(sorted(banks)) for node, banks in children.items()
         }
+
+    # ------------------------------------------------------------------
+    # Degraded operation (stuck-at TSB faults)
+    # ------------------------------------------------------------------
+
+    def remap_tsb(self, region_index: int,
+                  to_region: Optional[int] = None) -> int:
+        """Degrade a region whose TSB went stuck-at onto a neighbour.
+
+        The failed region keeps its banks but borrows the TSB of the
+        nearest healthy region (ties broken toward the lowest region
+        index), so its request traffic serialises through the
+        neighbour's vertical link; parent/child maps are rebuilt for
+        the new TSB->bank X-Y paths.  Returns the donor region's index.
+        """
+        region = self.regions[region_index]
+        if to_region is None:
+            candidates = [
+                r for r in self.regions
+                if r.index != region_index
+                and r.index not in self.failed_regions
+                and r.tsb_cache_node != region.tsb_cache_node
+            ]
+            if not candidates:
+                from repro.errors import FaultError
+
+                raise FaultError(
+                    f"no healthy region TSB left to remap region "
+                    f"{region_index} onto"
+                )
+            donor = min(candidates, key=lambda r: (
+                self.topo.manhattan(region.tsb_cache_node,
+                                    r.tsb_cache_node),
+                r.index,
+            ))
+        else:
+            donor = self.regions[to_region]
+        self.failed_regions[region_index] = donor.index
+        region.tsb_cache_node = donor.tsb_cache_node
+        region.tsb_core_node = donor.tsb_core_node
+        self._child_distance.clear()
+        self._build_parent_maps()
+        return donor.index
 
     # ------------------------------------------------------------------
     # Queries

@@ -74,6 +74,16 @@ class Network:
         self.stats = NetworkStats()
         #: observability emit callable; None when tracing is detached
         self.trace = None
+        #: fault-injection hook (:class:`repro.resilience.FaultPlane`);
+        #: None on fault-free runs, which then pay one ``is None`` test
+        #: per link traversal and nothing else.
+        self.faults = None
+        #: monotonic in-flight accounting -- unlike ``self.stats`` these
+        #: are never reset at measurement boundaries, so the invariant
+        #: guard can check ``injected - delivered == queued + resident``
+        #: at any cycle of a run.
+        self.packets_injected_total = 0
+        self.packets_delivered_total = 0
         self.routers: List[Router] = [
             Router(node, config.n_vcs) for node in range(topo.n_nodes)
         ]
@@ -187,6 +197,7 @@ class Network:
     def inject(self, pkt: Packet, now: int) -> None:
         """Queue a packet at its source NI."""
         self.routing.prepare(pkt)
+        self.packets_injected_total += 1
         self.stats.on_inject(pkt, now)
         trace = self.trace
         if trace is not None:
@@ -475,6 +486,7 @@ class Network:
         if out_port == LOCAL:
             if router.n_resident == 0:
                 self._active_routers.discard(node)
+            self.packets_delivered_total += 1
             self.stats.on_deliver(pkt, now)
             if trace is not None:
                 trace(now, EV_PKT_DELIVER, {
@@ -502,6 +514,15 @@ class Network:
                 "bank": pkt.bank,
             })
         pkt.hops += 1
+        faults = self.faults
+        if faults is not None and faults.on_link_traversal(
+                pkt, node, out_port, now):
+            # The downstream ingress CRC check caught a corrupted flit:
+            # the packet is dropped on the wire and the fault plane has
+            # already requeued it at its source NI for retransmission.
+            if router.n_resident == 0:
+                self._active_routers.discard(node)
+            return
         ready_at = pkt.ready_at = now + self.hop_cycles
         down_node = downstream.node
         in_p = OPPOSITE[out_port]
@@ -596,6 +617,43 @@ class Network:
             if gap > 0:
                 arbiter.accrue_parked(entries, gap)
                 self._parked[key] = (now - 1, entries)
+
+    # ------------------------------------------------------------------
+    # Fault-injection support
+    # ------------------------------------------------------------------
+
+    def requeue_at_source(self, pkt: Packet, now: int,
+                          ready_at: int) -> None:
+        """Re-queue a NACKed packet at its source NI (retransmission).
+
+        The packet restarts its journey from scratch -- fresh waypoint,
+        zeroed hop count -- and becomes eligible for injection at
+        ``ready_at`` (NACK return latency plus the source NI's backoff).
+        The NI queue is FIFO, so a backing-off head blocks younger
+        packets behind it exactly like a blocked store buffer would.
+        """
+        pkt.hops = 0
+        pkt.via = None
+        self.routing.prepare(pkt)
+        pkt.ready_at = ready_at
+        self.source_queues[pkt.src].append(pkt)
+        self._nonempty_sources.add(pkt.src)
+
+    def release_parked(self, node: int, out_port: int, now: int) -> None:
+        """Flush and drop one parked-port record.
+
+        Fault handling (TSB remap) moves entries between output queues;
+        the parked snapshot for the affected port would go stale, so the
+        pending delay accrual is flushed and the record dropped.  The
+        next scan of the port re-parks whatever is still blocked.
+        """
+        parked = self._parked.pop((node, out_port), None)
+        if parked is None:
+            return
+        self._parked_mask &= ~(1 << ((node << 3) | out_port))
+        gap = now - parked[0] - 1
+        if gap > 0:
+            self.arbiter.accrue_parked(parked[1], gap)
 
     # ------------------------------------------------------------------
     # Introspection

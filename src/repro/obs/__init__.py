@@ -23,7 +23,9 @@ from repro.obs.accuracy import (
 from repro.obs.events import (
     ALL_KINDS, SCHEDULER_KINDS, Event, InMemorySink,
     EV_ARB_REORDER, EV_BANK_END, EV_BANK_START, EV_EST_PREDICT,
-    EV_EST_UPDATE, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
+    EV_EST_UPDATE, EV_FAULT_BANK, EV_FAULT_CRC, EV_FAULT_REDIRECT,
+    EV_FAULT_RETRANSMIT, EV_FAULT_TSB, EV_GUARD_DEADLOCK,
+    EV_GUARD_VIOLATION, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
     EV_SCHED_EXEC, EV_SCHED_SKIP, EV_TSB_COMBINE,
 )
 from repro.obs.metrics import (
@@ -40,8 +42,10 @@ __all__ = [
     "resolve_predictions",
     "ALL_KINDS", "SCHEDULER_KINDS", "Event", "InMemorySink",
     "EV_ARB_REORDER", "EV_BANK_END", "EV_BANK_START", "EV_EST_PREDICT",
-    "EV_EST_UPDATE", "EV_PKT_DELIVER", "EV_PKT_FORWARD", "EV_PKT_INJECT",
-    "EV_SCHED_EXEC", "EV_SCHED_SKIP", "EV_TSB_COMBINE",
+    "EV_EST_UPDATE", "EV_FAULT_BANK", "EV_FAULT_CRC", "EV_FAULT_REDIRECT",
+    "EV_FAULT_RETRANSMIT", "EV_FAULT_TSB", "EV_GUARD_DEADLOCK",
+    "EV_GUARD_VIOLATION", "EV_PKT_DELIVER", "EV_PKT_FORWARD",
+    "EV_PKT_INJECT", "EV_SCHED_EXEC", "EV_SCHED_SKIP", "EV_TSB_COMBINE",
     "DEFAULT_PERCENTILES", "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "percentiles_from_hist",
     "Observability",

@@ -52,12 +52,33 @@ EV_SCHED_EXEC = "sched.exec"
 #: the event scheduler skipped a provably-idle cycle range
 EV_SCHED_SKIP = "sched.skip"
 
+# -- fault injection (repro.resilience) ---------------------------------
+#: a CRC check at a downstream router ingress caught a corrupted flit
+EV_FAULT_CRC = "fault.crc"
+#: the source NI scheduled a retransmission for a NACKed packet
+EV_FAULT_RETRANSMIT = "fault.retransmit"
+#: a region TSB went stuck-at; its region was remapped to a neighbour
+EV_FAULT_TSB = "fault.tsb_fail"
+#: a bank's array port failed (no operation can start until healed)
+EV_FAULT_BANK = "fault.bank_port"
+#: a queued bank request timed out and was redirected around the array
+EV_FAULT_REDIRECT = "fault.bank_redirect"
+
+# -- invariant guard (repro.sim.guard) ----------------------------------
+#: a conservation invariant failed (credit leak, accounting drift)
+EV_GUARD_VIOLATION = "guard.violation"
+#: the watchdog saw no forward progress for a full progress window
+EV_GUARD_DEADLOCK = "guard.deadlock"
+
 #: Every event kind, in taxonomy order.
 ALL_KINDS = (
     EV_PKT_INJECT, EV_PKT_FORWARD, EV_PKT_DELIVER,
     EV_BANK_START, EV_BANK_END,
     EV_EST_PREDICT, EV_EST_UPDATE, EV_ARB_REORDER, EV_TSB_COMBINE,
     EV_SCHED_EXEC, EV_SCHED_SKIP,
+    EV_FAULT_CRC, EV_FAULT_RETRANSMIT, EV_FAULT_TSB, EV_FAULT_BANK,
+    EV_FAULT_REDIRECT,
+    EV_GUARD_VIOLATION, EV_GUARD_DEADLOCK,
 )
 
 #: Kinds that describe scheduler bookkeeping rather than simulated

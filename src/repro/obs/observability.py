@@ -25,8 +25,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.events import (
     EV_ARB_REORDER, EV_BANK_START, EV_EST_PREDICT, EV_EST_UPDATE,
-    EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT, EV_SCHED_EXEC,
-    EV_SCHED_SKIP, EV_TSB_COMBINE,
+    EV_FAULT_BANK, EV_FAULT_CRC, EV_FAULT_REDIRECT, EV_FAULT_RETRANSMIT,
+    EV_FAULT_TSB, EV_GUARD_DEADLOCK, EV_GUARD_VIOLATION, EV_PKT_DELIVER,
+    EV_PKT_FORWARD, EV_PKT_INJECT, EV_SCHED_EXEC, EV_SCHED_SKIP,
+    EV_TSB_COMBINE,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sampler import EpochSampler
@@ -61,6 +63,13 @@ class Observability:
             EV_ARB_REORDER: self._on_reorder,
             EV_TSB_COMBINE: self._on_combine,
             EV_SCHED_SKIP: self._on_sched_skip,
+            EV_FAULT_CRC: self._on_fault_crc,
+            EV_FAULT_RETRANSMIT: self._on_fault_retransmit,
+            EV_FAULT_TSB: self._on_fault_tsb,
+            EV_FAULT_BANK: self._on_fault_bank,
+            EV_FAULT_REDIRECT: self._on_fault_redirect,
+            EV_GUARD_VIOLATION: self._on_guard_violation,
+            EV_GUARD_DEADLOCK: self._on_guard_deadlock,
         }
 
     # ------------------------------------------------------------------
@@ -165,6 +174,32 @@ class Observability:
 
     def _on_sched_skip(self, data: Dict) -> None:
         self.registry.counter("sched.skipped_cycles").inc(data["span"])
+
+    def _on_fault_crc(self, data: Dict) -> None:
+        self.registry.counter("fault.crc_detected").inc()
+
+    def _on_fault_retransmit(self, data: Dict) -> None:
+        self.registry.counter("fault.retransmits").inc()
+        self.registry.histogram("fault.backoff").observe(data["backoff"])
+
+    def _on_fault_tsb(self, data: Dict) -> None:
+        self.registry.counter("fault.tsb_failures").inc()
+        self.registry.counter("fault.packets_rerouted").inc(
+            data["rerouted"])
+
+    def _on_fault_bank(self, data: Dict) -> None:
+        self.registry.counter("fault.bank_port_failures").inc()
+
+    def _on_fault_redirect(self, data: Dict) -> None:
+        self.registry.counter("fault.bank_redirects").inc()
+        self.registry.histogram(
+            "fault.redirect_wait").observe(data["waited"])
+
+    def _on_guard_violation(self, data: Dict) -> None:
+        self.registry.counter("guard.violations").inc()
+
+    def _on_guard_deadlock(self, data: Dict) -> None:
+        self.registry.counter("guard.deadlocks").inc()
 
     # ------------------------------------------------------------------
     # Simulator lifecycle hooks

@@ -21,7 +21,9 @@ from typing import Dict, List, Tuple
 
 from repro.obs.events import (
     ALL_KINDS, EV_ARB_REORDER, EV_BANK_END, EV_BANK_START, EV_EST_PREDICT,
-    EV_EST_UPDATE, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
+    EV_EST_UPDATE, EV_FAULT_BANK, EV_FAULT_CRC, EV_FAULT_REDIRECT,
+    EV_FAULT_RETRANSMIT, EV_FAULT_TSB, EV_GUARD_DEADLOCK,
+    EV_GUARD_VIOLATION, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
     EV_SCHED_EXEC, EV_SCHED_SKIP, EV_TSB_COMBINE,
 )
 
@@ -96,6 +98,44 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
     EV_SCHED_SKIP: {
         "start": (int,),
         "span": (int,),
+    },
+    EV_FAULT_CRC: {
+        "pid": (int,),
+        "node": (int,),
+        "port": (int,),
+        "attempt": (int,),
+        "syndrome": (int,),
+    },
+    EV_FAULT_RETRANSMIT: {
+        "pid": (int,),
+        "src": (int,),
+        "attempt": (int,),
+        "backoff": (int,),
+        "ready_at": (int,),
+    },
+    EV_FAULT_TSB: {
+        "region": (int,),
+        "to_region": (int,),
+        "rerouted": (int,),
+    },
+    EV_FAULT_BANK: {
+        "bank": (int,),
+        "until": (int,),
+    },
+    EV_FAULT_REDIRECT: {
+        "bank": (int,),
+        "op": (str,),
+        "waited": (int,),
+    },
+    EV_GUARD_VIOLATION: {
+        "check": (str,),
+        "detail": (str,),
+    },
+    EV_GUARD_DEADLOCK: {
+        "since": (int,),
+        "window": (int,),
+        "resident": (int,),
+        "queued": (int,),
     },
 }
 

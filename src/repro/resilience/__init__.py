@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the 3D STT-RAM cache simulator.
+
+Real 3D integration loses exactly the structures this paper's mechanism
+depends on: TSV/TSB bonding faults take out vertical links, marginal
+arrays drop bank ports, and crosstalk flips flits in transit.  This
+package injects those faults *deterministically* -- a seeded schedule
+drives every corruption draw and every scheduled failure, so a fault run
+is exactly reproducible from ``(FaultConfig, workload seed)``.
+
+Three fault models (see :class:`FaultConfig`):
+
+* **Transient flit corruption** -- per-link-traversal corruption draws;
+  the downstream ingress CRC check catches the corrupted flit, the
+  packet is dropped on the wire, and the source NI retransmits after a
+  NACK round trip plus bounded exponential backoff.
+* **Stuck-at TSB failure** -- a region's vertical link dies at a
+  scheduled cycle; the region is remapped onto the nearest healthy
+  region's TSB, parent/child maps and arbiter/estimator state are
+  rebuilt, and in-flight requests are re-waypointed.
+* **Bank port failure** -- a bank's array port goes down for a window;
+  queued requests time out at the bank controller and are redirected
+  around the array (reads fetch from memory, writes write through).
+"""
+
+from repro.resilience.faults import (
+    FaultConfig, FaultPlane, crc16, packet_crc,
+)
+
+__all__ = ["FaultConfig", "FaultPlane", "crc16", "packet_crc"]

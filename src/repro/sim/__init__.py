@@ -2,9 +2,10 @@
 
 from repro.sim.config import (
     ALL_SCHEMES, CacheTechnology, Estimator, Scheme, SystemConfig,
-    TSBPlacement, WriteBufferConfig, make_config, with_extra_vc,
-    with_write_buffer,
+    TSBPlacement, WriteBufferConfig, make_config, parse_scheme,
+    with_extra_vc, with_write_buffer,
 )
+from repro.sim.guard import GuardConfig, InvariantGuard
 from repro.sim.experiment import (
     SchemeComparison, app_factory, compare_schemes, run_scheme,
     run_workload,
@@ -13,8 +14,8 @@ from repro.sim.metrics import (
     instruction_throughput, max_slowdown, slowdowns, weighted_speedup,
 )
 from repro.sim.parallel import (
-    SweepCache, SweepPoint, SweepRunStats, code_version,
-    default_cache_dir, run_points,
+    SweepCache, SweepCheckpoint, SweepPoint, SweepRunStats,
+    code_version, default_cache_dir, run_points,
 )
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import CMPSimulator
@@ -40,11 +41,12 @@ def reset_state() -> None:
 __all__ = [
     "SystemConfig", "Scheme", "ALL_SCHEMES", "CacheTechnology",
     "Estimator", "TSBPlacement", "WriteBufferConfig", "make_config",
-    "with_write_buffer", "with_extra_vc", "CMPSimulator",
+    "parse_scheme", "with_write_buffer", "with_extra_vc",
+    "CMPSimulator", "GuardConfig", "InvariantGuard",
     "SimulationResult", "SchemeComparison", "compare_schemes",
     "run_scheme", "run_workload", "app_factory",
     "instruction_throughput", "weighted_speedup", "max_slowdown",
     "slowdowns", "SweepGrid", "SweepResults", "run_sweep",
-    "SweepPoint", "SweepCache", "SweepRunStats", "run_points",
-    "code_version", "default_cache_dir", "reset_state",
+    "SweepPoint", "SweepCache", "SweepCheckpoint", "SweepRunStats",
+    "run_points", "code_version", "default_cache_dir", "reset_state",
 ]

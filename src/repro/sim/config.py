@@ -276,11 +276,35 @@ class SystemConfig:
     # ------------------------------------------------------------------
 
     def validate(self) -> "SystemConfig":
-        """Check internal consistency; return self for chaining."""
+        """Check internal consistency; return self for chaining.
+
+        Raises :class:`~repro.errors.ConfigError` (never a bare
+        ``ValueError`` or a deep simulator crash) so the CLI can turn
+        an impossible configuration into a clean non-zero exit.
+        """
         if self.mesh_width < 2:
             raise ConfigError("mesh_width must be >= 2")
         if self.n_vcs < 1:
             raise ConfigError("n_vcs must be >= 1")
+        for name in (
+            "vc_buffer_flits", "data_packet_flits", "addr_packet_flits",
+            "router_pipeline_cycles", "ni_queue_entries",
+            "bank_queue_entries", "l2_associativity", "l1_associativity",
+            "commit_width", "instruction_window", "load_dep_window",
+            "memory_latency_cycles", "n_memory_controllers",
+            "max_outstanding_memory", "wb_sample_period",
+            "rca_update_period", "max_delay_cycles",
+            "region_tsb_width_factor",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r}")
+        if self.link_cycles < 0:
+            raise ConfigError("link_cycles must be >= 0")
+        if self.hop_cycles < 1:
+            raise ConfigError(
+                "router_pipeline_cycles + link_cycles must be >= 1")
         if self.n_region_tsbs is not None:
             n = self.n_region_tsbs
             if n < 1 or self.nodes_per_layer % n != 0:
@@ -288,15 +312,51 @@ class SystemConfig:
                     f"n_region_tsbs={n} must divide the {self.nodes_per_layer}"
                     " cache banks into equal regions"
                 )
+            # Mirror the region-map tiling constraint here so the
+            # failure happens at config time, not deep in construction.
+            width = self.mesh_width
+            if not any(
+                n % cols == 0
+                and width % cols == 0
+                and width % (n // cols) == 0
+                for cols in range(1, n + 1)
+            ):
+                raise ConfigError(
+                    f"cannot tile a {width}x{width} mesh into {n} regions"
+                )
         if self.parent_hop_distance < 1:
             raise ConfigError("parent_hop_distance must be >= 1")
         if not 0.0 < self.capacity_scale <= 1.0:
             raise ConfigError("capacity_scale must be in (0, 1]")
-        if self.block_bytes & (self.block_bytes - 1):
+        if not 0.0 <= self.load_dep_prob <= 1.0:
+            raise ConfigError("load_dep_prob must be in [0, 1]")
+        if self.block_bytes < 1 or self.block_bytes & (self.block_bytes - 1):
             raise ConfigError("block_bytes must be a power of two")
         if self.n_memory_controllers > self.nodes_per_layer:
             raise ConfigError("more memory controllers than nodes")
+        if self.hybrid_sram_ways < 0:
+            raise ConfigError("hybrid_sram_ways must be >= 0")
+        if self.hybrid_sram_ways >= self.l2_associativity:
+            raise ConfigError(
+                f"hybrid_sram_ways={self.hybrid_sram_ways} must leave at "
+                f"least one STT-RAM way of {self.l2_associativity}")
+        if not 0.0 < self.write_termination_min_fraction <= 1.0:
+            raise ConfigError(
+                "write_termination_min_fraction must be in (0, 1]")
         return self
+
+
+def parse_scheme(label: str) -> Scheme:
+    """Map a CLI scheme label to a :class:`Scheme`, with a typed error.
+
+    Accepts the paper labels (``MRAM-4TSB-WB``), case-insensitively.
+    """
+    wanted = label.strip().upper()
+    for scheme in Scheme:
+        if scheme.value.upper() == wanted or scheme.name == wanted:
+            return scheme
+    valid = ", ".join(s.value for s in ALL_SCHEMES)
+    raise ConfigError(f"unknown scheme {label!r}; valid schemes: {valid}")
 
 
 def make_config(scheme: Scheme, **overrides) -> SystemConfig:

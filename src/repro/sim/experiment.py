@@ -56,11 +56,19 @@ def run_workload(
     cycles: int = DEFAULT_CYCLES,
     warmup: int = DEFAULT_WARMUP,
     log_bank_accesses: bool = False,
+    guard=None,
+    faults=None,
 ) -> SimulationResult:
-    """Build and run one simulation; returns its measurement window."""
+    """Build and run one simulation; returns its measurement window.
+
+    ``guard``/``faults`` are forwarded to :class:`CMPSimulator` (the
+    invariant guard and the deterministic fault plane; see
+    :mod:`repro.sim.guard` and :mod:`repro.resilience`).
+    """
     workload = workload_factory(config)
     sim = CMPSimulator(config, workload,
-                       log_bank_accesses=log_bank_accesses)
+                       log_bank_accesses=log_bank_accesses,
+                       guard=guard, faults=faults)
     return sim.run(cycles, warmup=warmup)
 
 
@@ -69,11 +77,14 @@ def run_scheme(
     workload_factory: WorkloadFactory,
     cycles: int = DEFAULT_CYCLES,
     warmup: int = DEFAULT_WARMUP,
+    guard=None,
+    faults=None,
     **config_overrides,
 ) -> SimulationResult:
     """Run one design scenario on one workload."""
     config = make_config(scheme, **config_overrides)
-    return run_workload(config, workload_factory, cycles, warmup)
+    return run_workload(config, workload_factory, cycles, warmup,
+                        guard=guard, faults=faults)
 
 
 def compare_schemes(

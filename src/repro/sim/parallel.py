@@ -21,9 +21,17 @@ Design contract (tested in ``tests/test_parallel_sweep.py``):
   sources.  Changing any input -- or the simulator code itself --
   changes the key and forces re-simulation; nothing is ever
   invalidated in place.
-* **Fault tolerance** -- a corrupted cache entry is discarded and
-  re-simulated; a crashed or timed-out worker chunk is retried once
-  serially in the parent before the sweep fails.
+* **Fault tolerance** -- every cache entry carries a SHA-256 payload
+  digest that is re-verified on read, so a truncated or tampered entry
+  is evicted and re-simulated (counted in ``sweep.cache.evictions``).
+  A crashed or timed-out worker chunk falls back to the parent, where
+  each point is retried up to ``max_retries`` times with bounded
+  exponential backoff before the sweep fails.
+* **Crash survivability** -- pass ``checkpoint=`` to journal finished
+  points into an atomically-replaced snapshot file.  A killed sweep
+  resumes from the snapshot on the next invocation (``resumed_points``
+  in the run stats), re-simulating only the unfinished points; the
+  snapshot is deleted once the grid completes.
 
 The engine reports progress and utilisation through the existing
 :class:`repro.obs.metrics.MetricsRegistry` (``sweep.*`` metrics) and is
@@ -177,19 +185,30 @@ class SweepPoint:
 # ----------------------------------------------------------------------
 
 
+def _payload_digest(result: Dict) -> str:
+    """Canonical SHA-256 of a point summary, stored alongside it."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
 class SweepCache:
     """Content-addressed store of point summaries.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` holding
-    ``{"key", "version", "spec", "result"}``.  Writes are atomic
-    (temp file + ``os.replace``); reads that fail to parse or fail the
-    self-check are treated as misses and the entry is discarded.
+    ``{"key", "version", "digest", "spec", "result"}``.  Writes are
+    atomic (temp file + ``os.replace``); reads re-verify the payload
+    digest, so an entry that fails to parse, fails the self-check or
+    was truncated/tampered after the write is **evicted** (counted in
+    :attr:`evictions`) and treated as a miss, never served.
     """
 
     def __init__(self, root: Optional[str] = None,
                  version: Optional[str] = None):
         self.root = root or default_cache_dir()
         self.version = version if version is not None else code_version()
+        #: corrupt entries discarded by :meth:`get` over this object's
+        #: lifetime (mirrored into ``sweep.cache.evictions``)
+        self.evictions = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -205,11 +224,14 @@ class SweepCache:
             result = payload["result"]
             if not isinstance(result, dict):
                 raise ValueError("cache entry has no result dict")
+            if payload["digest"] != _payload_digest(result):
+                raise ValueError("cache entry digest mismatch")
             return result
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self._discard(path)
+            self.evictions += 1
             return None
 
     def put(self, key: str, spec: Dict, result: Dict) -> None:
@@ -218,6 +240,7 @@ class SweepCache:
         payload = {
             "key": key,
             "version": self.version,
+            "digest": _payload_digest(result),
             "spec": spec,
             "result": result,
         }
@@ -229,6 +252,87 @@ class SweepCache:
     def _discard(self, path: str) -> None:
         try:
             os.remove(path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Crash-survivable checkpoints
+# ----------------------------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Atomic journal of finished sweep points for kill-and-resume.
+
+    The snapshot file holds ``{"code_version", "digest", "completed":
+    {key: result}}`` and is rewritten whole via temp file +
+    ``os.replace``, so a process killed mid-write leaves the previous
+    (complete) snapshot behind.  On load the digest and code version
+    are verified; a corrupt or stale snapshot resumes nothing rather
+    than resuming wrong results.
+    """
+
+    def __init__(self, path: str, version: Optional[str] = None):
+        self.path = path
+        self.version = version if version is not None else code_version()
+        self.completed: Dict[str, Dict] = {}
+        self._pending = 0
+
+    def load(self) -> int:
+        """Populate :attr:`completed` from disk; return the count."""
+        self.completed = {}
+        try:
+            with open(self.path, "r", encoding="ascii") as fh:
+                payload = json.load(fh)
+            completed = payload["completed"]
+            if (
+                payload["code_version"] != self.version
+                or not isinstance(completed, dict)
+                or payload["digest"] != _payload_digest(completed)
+            ):
+                raise ValueError("checkpoint self-check failed")
+            self.completed = completed
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # corrupt snapshot: resume nothing
+        return len(self.completed)
+
+    def prune(self, valid_keys) -> None:
+        """Drop snapshot entries that are not part of this grid."""
+        valid = set(valid_keys)
+        self.completed = {
+            k: v for k, v in self.completed.items() if k in valid
+        }
+
+    def record(self, key: str, result: Dict, every: int = 1) -> None:
+        """Journal one finished point; flush every ``every`` records."""
+        self.completed[key] = result
+        self._pending += 1
+        if self._pending >= every:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        payload = {
+            "code_version": self.version,
+            "digest": _payload_digest(self.completed),
+            "completed": self.completed,
+        }
+        tmp = self.path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="ascii") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._pending = 0
+
+    def discard(self) -> None:
+        """Delete the snapshot (the grid completed)."""
+        self._pending = 0
+        try:
+            os.remove(self.path)
         except OSError:
             pass
 
@@ -291,6 +395,10 @@ class SweepRunStats:
     chunks: int = 0
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
+    #: points served from a crash checkpoint instead of simulation
+    resumed_points: int = 0
+    #: corrupt cache entries evicted during this run
+    cache_evictions: int = 0
 
     @property
     def points_per_sec(self) -> float:
@@ -314,6 +422,8 @@ class SweepRunStats:
             "simulated": self.simulated,
             "retried": self.retried,
             "worker_crashes": self.worker_crashes,
+            "resumed_points": self.resumed_points,
+            "cache_evictions": self.cache_evictions,
             "workers": self.workers,
             "chunks": self.chunks,
             "wall_seconds": self.wall_seconds,
@@ -360,22 +470,39 @@ def run_points(
     timeout: Optional[float] = None,
     metrics: Optional[MetricsRegistry] = None,
     stats: Optional[SweepRunStats] = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
 ) -> Dict[str, Dict]:
     """Resolve every spec to a summary dict, keyed by content address.
 
     Cached points are served from disk; the rest fan out across a
     process pool (``workers > 1``) or run inline.  ``timeout`` is the
     per-point wall-clock budget; a chunk that exceeds the sum of its
-    points' budgets -- or whose worker dies -- is retried once,
-    serially, in the parent process.  The returned mapping is
-    insertion-ordered by first occurrence in ``specs`` and independent
-    of completion order.
+    points' budgets -- or whose worker dies -- falls back to the
+    parent, where each unfinished point retries up to ``max_retries``
+    times with exponential backoff (``retry_backoff * 2**attempt``
+    seconds) before the sweep fails.  ``checkpoint`` (a path or a
+    :class:`SweepCheckpoint`) journals finished points so a killed
+    sweep resumes instead of recomputing; the snapshot is flushed every
+    ``checkpoint_every`` completions and deleted when the grid
+    finishes.  The returned mapping is insertion-ordered by first
+    occurrence in ``specs`` and independent of completion order.
     """
     stats = stats if stats is not None else SweepRunStats()
     stats.workers = resolve_workers(workers)
+    if max_retries < 0:
+        raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0:
+        raise ConfigError(
+            f"retry_backoff must be >= 0, got {retry_backoff}")
     t_start = time.perf_counter()
 
     store = SweepCache(cache_dir) if cache else None
+    ckpt = checkpoint
+    if isinstance(ckpt, str):
+        ckpt = SweepCheckpoint(ckpt)
     results: Dict[str, Dict] = {}
     spec_of_key: Dict[str, SweepPoint] = {}
     for spec in specs:
@@ -388,8 +515,16 @@ def run_points(
             results[key] = None  # placeholder fixing output order
     stats.points = len(spec_of_key)
 
+    resumed: Dict[str, Dict] = {}
+    if ckpt is not None:
+        ckpt.load()
+        ckpt.prune(spec_of_key.keys())
+        resumed = dict(ckpt.completed)
+
     def finish(key: str, result: Dict, wall_ms: float = 0.0) -> None:
         results[key] = result
+        if ckpt is not None and key not in ckpt.completed:
+            ckpt.record(key, result, every=checkpoint_every)
         if wall_ms and metrics is not None:
             metrics.histogram("sweep.point_ms").observe(int(wall_ms))
         if progress is not None:
@@ -398,6 +533,10 @@ def run_points(
 
     misses: List[str] = []
     for key, spec in spec_of_key.items():
+        if key in resumed:
+            stats.resumed_points += 1
+            finish(key, resumed[key])
+            continue
         cached = store.get(key) if store is not None else None
         if cached is not None:
             stats.cache_hits += 1
@@ -416,10 +555,22 @@ def run_points(
             store.put(key, spec_of_key[key].canonical(), result)
         finish(key, result, wall_ms)
 
-    if stats.workers <= 1 or len(misses) <= 1:
-        for key in misses:
-            run_serially(key)
-    else:
+    def run_with_retries(key: str) -> None:
+        """One point, retried with bounded exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                run_serially(key)
+                return
+            except Exception:
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                stats.retried += 1
+                if retry_backoff > 0:
+                    time.sleep(retry_backoff * (2 ** (attempt - 1)))
+
+    def run_pool() -> None:
         # ~4 chunks per worker keeps the pool load-balanced while
         # amortising pickling/IPC over several points per round-trip.
         chunk_size = max(1, len(misses) // (stats.workers * 4))
@@ -474,16 +625,32 @@ def run_points(
         for key in retry:
             if results[key] is None:
                 stats.retried += 1
-                run_serially(key)
+                run_with_retries(key)
+
+    try:
+        if stats.workers <= 1 or len(misses) <= 1:
+            for key in misses:
+                run_with_retries(key)
+        else:
+            run_pool()
+    finally:
+        if ckpt is not None:
+            ckpt.flush()
+    if ckpt is not None and all(r is not None for r in results.values()):
+        ckpt.discard()
 
     stats.wall_seconds = time.perf_counter() - t_start
+    if store is not None:
+        stats.cache_evictions = store.evictions
     if metrics is not None:
         metrics.counter("sweep.points").inc(stats.points)
         metrics.counter("sweep.cache.hits").inc(stats.cache_hits)
         metrics.counter("sweep.cache.misses").inc(stats.cache_misses)
+        metrics.counter("sweep.cache.evictions").inc(stats.cache_evictions)
         metrics.counter("sweep.simulated").inc(stats.simulated)
         metrics.counter("sweep.retried").inc(stats.retried)
         metrics.counter("sweep.worker_crashes").inc(stats.worker_crashes)
+        metrics.counter("sweep.resumed").inc(stats.resumed_points)
         metrics.gauge("sweep.workers").set(stats.workers)
         metrics.gauge("sweep.utilization").set(stats.utilization)
         metrics.gauge("sweep.points_per_sec").set(stats.points_per_sec)

@@ -43,7 +43,7 @@ class CMPSimulator:
 
     def __init__(self, config: SystemConfig, workload: Workload,
                  log_bank_accesses: bool = False, prewarm: bool = True,
-                 scheduler: str = "event"):
+                 scheduler: str = "event", guard=None, faults=None):
         config.validate()
         if scheduler not in ("event", "dense"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -140,6 +140,27 @@ class CMPSimulator:
 
         if prewarm:
             self.prewarm()
+
+        #: resilience layer: fault plane and invariant guard, both None
+        #: on plain runs (one ``is None`` test per executed cycle each).
+        #: ``guard`` accepts True, a GuardConfig or an InvariantGuard;
+        #: ``faults`` accepts a repro.resilience.FaultConfig.
+        self.fault_plane = None
+        if faults is not None and faults.any_faults():
+            from repro.resilience.faults import FaultPlane
+
+            self.fault_plane = FaultPlane(self, faults)
+        self.guard = None
+        if guard:
+            from repro.sim.guard import GuardConfig, InvariantGuard
+
+            if isinstance(guard, InvariantGuard):
+                self.guard = guard
+            elif isinstance(guard, GuardConfig):
+                self.guard = InvariantGuard(guard)
+            else:
+                self.guard = InvariantGuard()
+            self.guard.bind(self)
 
     # ------------------------------------------------------------------
     # Cache pre-warming
@@ -319,6 +340,9 @@ class CMPSimulator:
         obs = self._obs
         if obs is not None:
             obs.on_cycle(now)
+        faults = self.fault_plane
+        if faults is not None:
+            faults.on_cycle(now)
         self.network.step(now)
         for mc in self.mcs:
             mc.step(now)
@@ -326,6 +350,9 @@ class CMPSimulator:
             bank.step(now)
         for core in self.cores:
             core.step(now)
+        guard = self.guard
+        if guard is not None:
+            guard.on_executed_cycle(now)
         self.cycle += 1
 
     # -- event-driven scheduling ---------------------------------------
@@ -367,6 +394,9 @@ class CMPSimulator:
 
     def _event_step(self, now: int) -> None:
         """One executed cycle in dense component order, active sets only."""
+        faults = self.fault_plane
+        if faults is not None:
+            faults.on_cycle(now)
         self.network.step(now)
         heap = self._wake_heap
         sleep = self._core_sleep
@@ -406,6 +436,9 @@ class CMPSimulator:
                 wake = NEVER  # woken by delivery / NI drain
             self._active_cores.discard(cid)
             sleep[cid] = [status, now, wake]
+        guard = self.guard
+        if guard is not None:
+            guard.on_executed_cycle(now)
 
     def _next_event(self, now: int) -> int:
         """Lower bound (> ``now``) on the next cycle anything can act."""
@@ -430,6 +463,19 @@ class CMPSimulator:
                     nxt = wake
                 break
             heapq.heappop(heap)  # stale: core woken early
+        faults = self.fault_plane
+        if faults is not None:
+            t = faults.next_scheduled(now)
+            if t < nxt:
+                nxt = t
+        guard = self.guard
+        if guard is not None:
+            # Execute the watchdog deadline cycle instead of skipping
+            # past it; a spurious wake is a provable no-op for simulated
+            # state, so fingerprints are unaffected.
+            t = guard.wake_bound(now)
+            if t < nxt:
+                nxt = t
         return nxt if nxt > now else now + 1
 
     def _flush_lazy(self) -> None:
@@ -480,6 +526,8 @@ class CMPSimulator:
             start_cycle = self.cycle
             self._reset_measurement_stats()
             self._run_event(cycles)
+            if self.guard is not None:
+                self.guard.on_run_end(self.cycle)
             if self._obs is not None:
                 self._obs.on_run_end(self)
             return SimulationResult.collect(
@@ -498,6 +546,8 @@ class CMPSimulator:
         # under dense stepping (use_reference_loop=False) with its
         # parked-delay accrual flushed at the same boundary.
         self._flush_lazy()
+        if self.guard is not None:
+            self.guard.on_run_end(self.cycle)
         if self._obs is not None:
             self._obs.on_run_end(self)
         return SimulationResult.collect(

@@ -142,20 +142,29 @@ def run_sweep(grid: SweepGrid,
               cache_dir: Optional[str] = None,
               timeout: Optional[float] = None,
               metrics: Optional[MetricsRegistry] = None,
-              stats: Optional[SweepRunStats] = None) -> SweepResults:
+              stats: Optional[SweepRunStats] = None,
+              checkpoint=None,
+              checkpoint_every: int = 1,
+              max_retries: int = 2,
+              retry_backoff: float = 0.25) -> SweepResults:
     """Execute every grid point and collect summaries.
 
     ``workers=1`` (the default) runs in-process, serially; ``workers=N``
     fans grid points out across a process pool, and ``workers=0`` uses
     one worker per host CPU.  With ``cache=True`` previously simulated
     points are served from the content-addressed result cache (see
-    :mod:`repro.sim.parallel`), so only changed points simulate.  The
+    :mod:`repro.sim.parallel`), so only changed points simulate.
+    ``checkpoint`` (path or :class:`~repro.sim.parallel.SweepCheckpoint`)
+    journals finished points for kill-and-resume, and failed points
+    retry up to ``max_retries`` times with exponential backoff.  The
     resulting ``SweepResults`` is identical in all modes.
     """
     specs = grid.point_specs()
     resolved = run_points(
         specs, workers=workers, cache=cache, cache_dir=cache_dir,
         progress=progress, timeout=timeout, metrics=metrics, stats=stats,
+        checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+        max_retries=max_retries, retry_backoff=retry_backoff,
     )
     data: Dict[str, Dict[str, dict]] = {}
     for spec in specs:

@@ -7,7 +7,8 @@ import pytest
 from repro.errors import ConfigError
 from repro.sim.config import (
     ALL_SCHEMES, CacheTechnology, Estimator, Scheme, SystemConfig,
-    TSBPlacement, make_config, with_extra_vc, with_write_buffer,
+    TSBPlacement, make_config, parse_scheme, with_extra_vc,
+    with_write_buffer,
 )
 
 
@@ -112,6 +113,90 @@ class TestValidation:
     def test_valid_default_passes(self):
         cfg = SystemConfig()
         assert cfg.validate() is cfg
+
+    @pytest.mark.parametrize("field", [
+        "vc_buffer_flits", "data_packet_flits", "addr_packet_flits",
+        "router_pipeline_cycles", "ni_queue_entries",
+        "bank_queue_entries", "l2_associativity", "l1_associativity",
+        "commit_width", "instruction_window", "memory_latency_cycles",
+        "n_memory_controllers", "max_outstanding_memory",
+        "wb_sample_period", "rca_update_period", "max_delay_cycles",
+    ])
+    def test_rejects_nonpositive_structural_knobs(self, field):
+        with pytest.raises(ConfigError):
+            SystemConfig(**{field: 0}).validate()
+        with pytest.raises(ConfigError):
+            SystemConfig(**{field: -3}).validate()
+
+    def test_rejects_non_integer_knobs(self):
+        # 2.5 VCs is not a hardware configuration.
+        with pytest.raises(ConfigError):
+            SystemConfig(vc_buffer_flits=2.5).validate()
+
+    def test_rejects_negative_link_cycles(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(link_cycles=-1).validate()
+        SystemConfig(link_cycles=0).validate()  # express links ok
+
+    def test_rejects_bad_load_dep_prob(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(load_dep_prob=1.5).validate()
+        with pytest.raises(ConfigError):
+            SystemConfig(load_dep_prob=-0.1).validate()
+
+    def test_rejects_untileable_region_grid(self):
+        # 5 regions cannot tile a 8x8 bank layer into rectangles.
+        with pytest.raises(ConfigError):
+            SystemConfig(mesh_width=8, n_region_tsbs=5).validate()
+
+    def test_rejects_hybrid_ways_at_associativity(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(hybrid_sram_ways=16, l2_associativity=16) \
+                .validate()
+        SystemConfig(hybrid_sram_ways=2, l2_associativity=16).validate()
+
+    def test_rejects_bad_write_termination_fraction(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(write_termination_min_fraction=0.0).validate()
+        with pytest.raises(ConfigError):
+            SystemConfig(write_termination_min_fraction=1.2).validate()
+
+
+class TestParseScheme:
+    def test_accepts_labels_case_insensitively(self):
+        assert parse_scheme("SRAM-64TSB") is Scheme.SRAM_64TSB
+        assert parse_scheme("mram-4tsb") is Scheme.STTRAM_4TSB
+        assert parse_scheme("MRAM-4TSB-WB") is Scheme.STTRAM_4TSB_WB
+
+    def test_accepts_enum_names(self):
+        assert parse_scheme("STTRAM_4TSB_RCA") is Scheme.STTRAM_4TSB_RCA
+        assert parse_scheme("sram_64tsb") is Scheme.SRAM_64TSB
+
+    def test_rejects_unknown_label_with_catalogue(self):
+        with pytest.raises(ConfigError) as err:
+            parse_scheme("BOGUS")
+        # The error names the valid labels so the CLI message is usable.
+        assert Scheme.SRAM_64TSB.value in str(err.value)
+
+
+class TestCLIExitCodes:
+    """ReproError anywhere under a CLI command exits 2, not a
+    traceback (the contract scripts and CI gates rely on)."""
+
+    def test_impossible_config_exits_2(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run", "--app", "x264", "--mesh-width", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_sweep_scheme_exits_2(self, capsys):
+        from repro.cli import main
+
+        rc = main(["sweep", "--apps", "x264", "--schemes", "BOGUS",
+                   "--workers", "1", "--no-cache"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestComparators:
