@@ -8,6 +8,7 @@ Subcommands::
     python -m repro fig3 --app tpcc
     python -m repro perf --out BENCH_perf.json
     python -m repro sweep --apps tpcc,mcf --workers 4 --out sweep.json
+    python -m repro sweep --apps tpcc,mcf --backend batch
     python -m repro chaos --app tpcc --fault crc --verify-determinism
     python -m repro trace --app tpcc --out trace.jsonl --chrome trace.json
     python -m repro report --app tpcc
@@ -30,6 +31,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.access_dist import distribution_for_app
 from repro.analysis.tables import format_histogram, format_table
+from repro.engine import BACKEND_NAMES
 from repro.errors import ReproError
 from repro.sim.config import ALL_SCHEMES, Scheme, make_config, parse_scheme
 from repro.sim.experiment import app_factory, compare_schemes, run_scheme
@@ -110,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--scheduler", choices=("dense", "event"),
                         default="event",
                         help="scheduler to profile (with --profile)")
+    perf_p.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="scalar",
+                        help="execution backend for the sweep-throughput "
+                             "benchmark ('batch' needs the repro[batch] "
+                             "extra)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run an apps x schemes grid (parallel + cached)")
@@ -150,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="exit nonzero when fewer than N points "
                               "were resumed from the checkpoint (CI gate)")
+    sweep_p.add_argument("--backend", choices=BACKEND_NAMES,
+                         default="scalar",
+                         help="execution backend: 'scalar' runs points "
+                              "one at a time, 'batch' packs compatible "
+                              "points into lockstep lane groups "
+                              "(byte-identical results; needs the "
+                              "repro[batch] extra)")
+    sweep_p.add_argument("--batch-width", type=_positive_int,
+                         default=None, metavar="B",
+                         help="max lanes per batch group "
+                              "(default: engine default)")
     _add_common(sweep_p)
 
     chaos_p = sub.add_parser(
@@ -294,7 +312,7 @@ def _cmd_perf(args) -> int:
             print(f"wrote {out}")
         return 0
 
-    kwargs = dict(seed=args.seed)
+    kwargs = dict(seed=args.seed, backend=args.backend)
     if args.smoke:
         # Same window as the full run (speedups stay comparable with
         # the committed baseline), but one config and fewer repeats.
@@ -349,6 +367,7 @@ def _cmd_sweep(args) -> int:
         cache_dir=args.cache_dir, timeout=args.timeout, stats=stats,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        backend=args.backend, batch_width=args.batch_width,
     )
 
     throughput = sweep.normalized("instruction_throughput",
@@ -362,6 +381,7 @@ def _cmd_sweep(args) -> int:
     print(
         f"{stats.points} points in {stats.wall_seconds:.2f}s "
         f"({stats.points_per_sec:.2f} points/sec) -- "
+        f"backend={stats.backend} "
         f"workers={resolve_workers(args.workers)} "
         f"hits={stats.cache_hits} misses={stats.cache_misses} "
         f"simulated={stats.simulated} retried={stats.retried} "
@@ -369,6 +389,12 @@ def _cmd_sweep(args) -> int:
         f"evictions={stats.cache_evictions} "
         f"utilization={stats.utilization:.0%}"
     )
+    if stats.backend == "batch":
+        print(
+            f"batch lanes: {stats.lanes_packed} packed in "
+            f"{stats.lane_groups} groups, "
+            f"{stats.scalar_fallbacks} scalar fallbacks"
+        )
     if args.out:
         sweep.save(args.out)
         print(f"wrote {args.out}")

@@ -1,0 +1,25 @@
+"""Execution engines: the model-spec / execution seam.
+
+``repro.engine`` separates *what* to simulate (:class:`EngineSpec`)
+from *how* (:class:`ExecutionEngine` backends).  The ``scalar`` backend
+is the historical one-simulation-at-a-time path; the optional ``batch``
+backend (``pip install repro[batch]``) packs compatible sweep points
+into lockstep lane groups.  Both produce byte-identical summaries --
+see DESIGN.md, "Execution backends".
+"""
+
+from repro.engine.base import (
+    BACKEND_NAMES, ExecutionEngine, ScalarEngine, available_backends,
+    batch_available, get_engine,
+)
+from repro.engine.spec import EngineSpec
+
+__all__ = [
+    "BACKEND_NAMES",
+    "EngineSpec",
+    "ExecutionEngine",
+    "ScalarEngine",
+    "available_backends",
+    "batch_available",
+    "get_engine",
+]

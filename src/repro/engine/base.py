@@ -1,0 +1,128 @@
+"""Execution-engine protocol, the scalar reference backend, registry.
+
+The seam: a backend turns :class:`~repro.engine.spec.EngineSpec` values
+into the ``SimulationResult.to_dict()`` summary dicts that the sweep
+cache, checkpoints and ``SweepResults.fingerprint`` are built on.  Two
+rules every backend must obey:
+
+* **Identity** -- the summary for a spec is byte-identical to what the
+  scalar backend produces.  Backends trade *how* the work is scheduled
+  (one simulation at a time vs many in lockstep), never *what* is
+  simulated.
+* **Hermeticity** -- a summary depends only on its spec, never on what
+  else ran in the process (the scalar backend resets process-global
+  state per spec; the batch backend isolates it per lane).
+
+Because of the identity rule, cache keys and fingerprints never mention
+the backend: entries written by one backend are served to any other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import BackendUnavailableError, ConfigError
+from repro.engine.spec import EngineSpec
+
+#: Backend names accepted by ``run_sweep``/``run_points``/the CLI.
+BACKEND_NAMES = ("scalar", "batch")
+
+
+class ExecutionEngine:
+    """Interface every execution backend implements.
+
+    Not an ABC on purpose: backends are duck-typed (the registry is the
+    contract), this class just documents the surface and provides the
+    default ``run_specs`` loop over :meth:`run_one`.
+    """
+
+    #: registry name, recorded in sweep run stats/metadata
+    name: str = "abstract"
+
+    def run_one(self, spec: EngineSpec) -> Dict:
+        """Simulate one spec and return its summary dict."""
+        raise NotImplementedError
+
+    def run_specs(self, specs: Sequence[EngineSpec],
+                  done: Optional[Callable[[int, Dict], None]] = None,
+                  ) -> List[Dict]:
+        """Simulate every spec; summaries in input order.
+
+        ``done(index, summary)`` fires as each spec finishes (backends
+        may finish out of input order internally).
+        """
+        out: List[Optional[Dict]] = [None] * len(specs)
+        for i, spec in enumerate(specs):
+            out[i] = self.run_one(spec)
+            if done is not None:
+                done(i, out[i])
+        return out
+
+
+class ScalarEngine(ExecutionEngine):
+    """The reference backend: one simulation at a time, dense/event
+    scheduler, full process-global reset per spec.
+
+    This is the execution path everything else is certified against --
+    ``repro.sim.parallel.simulate_point`` delegates here, so the scalar
+    backend and the historical sweep path are one and the same code.
+    """
+
+    name = "scalar"
+
+    def run_one(self, spec: EngineSpec) -> Dict:
+        from repro.sim import reset_state
+        from repro.sim.experiment import app_factory, run_scheme
+
+        reset_state()
+        result = run_scheme(
+            spec.scheme, app_factory(spec.app, seed=spec.seed),
+            cycles=spec.cycles, warmup=spec.warmup,
+            **spec.overrides_dict(),
+        )
+        return result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def batch_available() -> bool:
+    """True when the optional numpy dependency is importable."""
+    from repro.engine import batch
+
+    return batch.numpy_available()
+
+
+def available_backends() -> List[str]:
+    return [
+        name for name in BACKEND_NAMES
+        if name != "batch" or batch_available()
+    ]
+
+
+def get_engine(name: str, **options) -> ExecutionEngine:
+    """Construct the named backend.
+
+    Raises :class:`~repro.errors.BackendUnavailableError` when the
+    backend exists but its host dependencies are missing (the CLI turns
+    this into a one-line exit-2 message) and
+    :class:`~repro.errors.ConfigError` for unknown names.
+    """
+    if name == "scalar":
+        return ScalarEngine()
+    if name == "batch":
+        from repro.engine.batch import BatchEngine
+
+        if not batch_available():
+            raise BackendUnavailableError(
+                "the 'batch' execution backend needs numpy, which is not "
+                "installed; install the optional extra with "
+                "'pip install repro[batch]' or use --backend scalar"
+            )
+        return BatchEngine(**options)
+    raise ConfigError(
+        f"unknown execution backend {name!r}; "
+        f"valid backends: {', '.join(BACKEND_NAMES)}"
+    )

@@ -1,0 +1,333 @@
+"""Batched lockstep execution backend (structure-of-arrays, numpy).
+
+Packs B compatible simulations ("lanes") from one sweep grid into a
+lane group and steps them through their warm-up and measurement phases
+in lockstep slices.  Per-lane simulated state remains the scalar
+machine -- that is what makes the backend bit-identical to the scalar
+engine, the acceptance bar everything here is certified against -- but
+the group structure buys real work savings:
+
+* **Shared stream tapes** -- lanes that differ only in scheme replay
+  one recorded access stream per core instead of re-generating it
+  (:mod:`repro.engine.tape`), eliminating duplicate RNG work.
+* **Lane-group GC pause** -- the collector is disabled across a group
+  (the simulator's steady state allocates in pools; cyclic garbage per
+  group is bounded), removing collector passes from every lane.
+* **SoA lane bookkeeping** -- per-lane cycle/limit/progress state lives
+  in ``(B,)`` numpy arrays; the lockstep driver selects runnable lanes
+  by mask.  This is the seam future vectorized route/arbitrate/credit
+  kernels index with a leading lane axis: the phase structure, lane
+  isolation and identity certification are in place, so kernels can be
+  vectorized one at a time against a bit-identity gate.
+
+Isolation: the only process-global mutable state in the simulator is
+the packet-id counter (``repro.sim.reset_state`` resets exactly that).
+Each lane owns a private counter, swapped into place around every call
+that touches the lane (:class:`_LaneScope`), so interleaved lanes see
+the same ids as a freshly reset scalar run.
+
+numpy is an optional extra (``pip install repro[batch]``); this module
+imports without it, and :func:`~repro.engine.base.get_engine` raises a
+typed :class:`~repro.errors.BackendUnavailableError` when the backend
+is requested without it.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+import repro.noc.packet as _packet_mod
+from repro.errors import BackendUnavailableError, ConfigError
+from repro.engine.base import ExecutionEngine, ScalarEngine
+from repro.engine.spec import EngineSpec
+from repro.engine.tape import TapePool
+
+#: Default maximum lanes per lockstep group.
+DEFAULT_MAX_WIDTH = 16
+
+#: Executed cycles a lane advances per lockstep slice.  Large enough to
+#: amortise the lane-switch overhead (measured best on the perf bench
+#: grid), small enough that group lanes still interleave within a
+#: long measurement phase.
+SLICE_EXECUTED_CYCLES = 2048
+
+
+def numpy_available() -> bool:
+    return np is not None
+
+
+class _LaneScope:
+    """Per-lane isolation of the process-global packet-id counter.
+
+    Entering swaps the lane's private ``itertools.count`` into
+    ``repro.noc.packet._packet_ids``; exiting restores the previous
+    counter.  Every lane-touching call (construction, lockstep slices,
+    stat resets, collection) runs inside its lane's scope, so each lane
+    numbers packets exactly like a freshly reset scalar run no matter
+    how lanes interleave.
+    """
+
+    __slots__ = ("_counter", "_saved")
+
+    def __init__(self):
+        self._counter = itertools.count()
+        self._saved = None
+
+    def __enter__(self):
+        self._saved = _packet_mod._packet_ids
+        _packet_mod._packet_ids = self._counter
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # Re-capture in case something inside replaced the global
+        # (nothing in-tree does; cheap insurance against drift).
+        self._counter = _packet_mod._packet_ids
+        _packet_mod._packet_ids = self._saved
+        self._saved = None
+        return False
+
+
+def pack_lanes(specs: Sequence[EngineSpec], max_width: int,
+               ) -> Tuple[List[List[int]], List[int]]:
+    """Partition spec indices into lane groups and scalar fallbacks.
+
+    Specs sharing a :meth:`~repro.engine.spec.EngineSpec.lane_signature`
+    are grouped in first-appearance order and split into chunks of at
+    most ``max_width`` lanes.  Chunks of a single lane gain nothing
+    from the batch machinery and fall back to the scalar engine --
+    which is also where every point of a fully incompatible (mixed)
+    grid lands.  Returns ``(groups, fallbacks)`` of indices into
+    ``specs``; together they cover every index exactly once.
+    """
+    if max_width < 1:
+        raise ConfigError(f"batch width must be >= 1, got {max_width}")
+    buckets: Dict[Tuple, List[int]] = {}
+    for i, spec in enumerate(specs):
+        buckets.setdefault(spec.lane_signature(), []).append(i)
+    groups: List[List[int]] = []
+    fallbacks: List[int] = []
+    for indices in buckets.values():
+        for at in range(0, len(indices), max_width):
+            chunk = indices[at:at + max_width]
+            if len(chunk) >= 2:
+                groups.append(chunk)
+            else:
+                fallbacks.extend(chunk)
+    return groups, fallbacks
+
+
+@dataclass
+class BatchEngineStats:
+    """Lane-packing counters of one engine instance (mirrored into the
+    sweep run stats and the ``sweep.backend.*`` metrics)."""
+
+    lane_groups: int = 0
+    #: specs executed in multi-lane lockstep groups
+    lanes_packed: int = 0
+    #: specs that fell back to the scalar engine (singleton signatures)
+    scalar_fallbacks: int = 0
+    #: width of each lane group run
+    widths: List[int] = field(default_factory=list)
+    #: master synthetic streams generated vs readers handed out
+    tapes_created: int = 0
+    tape_streams_served: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "lane_groups": self.lane_groups,
+            "lanes_packed": self.lanes_packed,
+            "scalar_fallbacks": self.scalar_fallbacks,
+            "widths": list(self.widths),
+            "tapes_created": self.tapes_created,
+            "tape_streams_served": self.tape_streams_served,
+        }
+
+
+class BatchEngine(ExecutionEngine):
+    """Lockstep lane-group backend; see the module docstring."""
+
+    name = "batch"
+
+    def __init__(self, max_width: int = DEFAULT_MAX_WIDTH,
+                 slice_cycles: int = SLICE_EXECUTED_CYCLES):
+        if np is None:
+            raise BackendUnavailableError(
+                "the 'batch' execution backend needs numpy, which is not "
+                "installed; install the optional extra with "
+                "'pip install repro[batch]'"
+            )
+        if max_width < 1:
+            raise ConfigError(
+                f"batch width must be >= 1, got {max_width}")
+        if slice_cycles < 1:
+            raise ConfigError(
+                f"slice_cycles must be >= 1, got {slice_cycles}")
+        self.max_width = max_width
+        self.slice_cycles = slice_cycles
+        self.stats = BatchEngineStats()
+        self._scalar = ScalarEngine()
+
+    # ------------------------------------------------------------------
+    # Engine surface
+    # ------------------------------------------------------------------
+
+    def run_one(self, spec: EngineSpec) -> Dict:
+        """A single spec is by definition a width-1 group: scalar."""
+        self.stats.scalar_fallbacks += 1
+        return self._scalar.run_one(spec)
+
+    def run_specs(self, specs: Sequence[EngineSpec],
+                  done: Optional[Callable[[int, Dict], None]] = None,
+                  ) -> List[Dict]:
+        out: List[Optional[Dict]] = [None] * len(specs)
+        groups, fallbacks = pack_lanes(specs, self.max_width)
+        for group in groups:
+            results = self.run_group([specs[i] for i in group])
+            for i, result in zip(group, results):
+                out[i] = result
+                if done is not None:
+                    done(i, result)
+        for i in fallbacks:
+            out[i] = self.run_one(specs[i])
+            if done is not None:
+                done(i, out[i])
+        return out
+
+    # ------------------------------------------------------------------
+    # Lane groups
+    # ------------------------------------------------------------------
+
+    def run_group(self, specs: Sequence[EngineSpec]) -> List[Dict]:
+        """Run one compatible lane group in lockstep; summaries in order.
+
+        Every spec must share one lane signature (same topology and
+        measurement window); callers normally get groups from
+        :func:`pack_lanes`, which guarantees that.
+        """
+        signatures = {spec.lane_signature() for spec in specs}
+        if len(signatures) != 1:
+            raise ConfigError(
+                f"lane group mixes {len(signatures)} signatures; "
+                "group specs by EngineSpec.lane_signature() first"
+            )
+        self.stats.lane_groups += 1
+        self.stats.lanes_packed += len(specs)
+        self.stats.widths.append(len(specs))
+
+        tape_pool = TapePool()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            lanes = [
+                self._build_lane(spec, tape_pool) for spec in specs
+            ]
+            warmup = specs[0].warmup
+            cycles = specs[0].cycles
+            self._run_phase(lanes, warmup)
+            snapshots = []
+            for sim, scope in lanes:
+                with scope:
+                    committed = [c.stats.committed for c in sim.cores]
+                    start_cycle = sim.cycle
+                    sim._reset_measurement_stats()
+                snapshots.append((start_cycle, committed))
+            self._run_phase(lanes, cycles)
+            out = []
+            for (sim, scope), (start_cycle, committed) in zip(
+                    lanes, snapshots):
+                with scope:
+                    from repro.sim.results import SimulationResult
+
+                    result = SimulationResult.collect(
+                        sim, start_cycle, committed)
+                out.append(result.to_dict())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.stats.tapes_created += tape_pool.tapes_created
+        self.stats.tape_streams_served += tape_pool.streams_served
+        return out
+
+    def _build_lane(self, spec: EngineSpec, tape_pool: TapePool):
+        """Construct one lane under its own packet-id scope."""
+        from repro.sim.config import make_config
+        from repro.sim.simulator import CMPSimulator
+        from repro.workloads.mixes import homogeneous
+
+        scope = _LaneScope()
+        with scope:
+            config = make_config(spec.scheme, **spec.overrides_dict())
+            workload = homogeneous(
+                spec.app, config, seed=spec.seed,
+                stream_factory=tape_pool.stream_factory,
+            )
+            sim = CMPSimulator(config, workload)
+        return sim, scope
+
+    # ------------------------------------------------------------------
+    # Lockstep driver
+    # ------------------------------------------------------------------
+
+    def _run_phase(self, lanes, n_cycles: int) -> None:
+        """Advance every lane ``n_cycles`` simulated cycles, lockstep.
+
+        Mirrors ``CMPSimulator._run_event`` phase semantics exactly: a
+        non-positive phase is a no-op (no boundary flush), otherwise
+        every lane's lazily-deferred counters are flushed at the phase
+        boundary, after the whole group arrives.
+        """
+        if n_cycles <= 0:
+            return
+        n_lanes = len(lanes)
+        # SoA lane state: one (B,) array per field, mask-selected.
+        limits = np.fromiter(
+            (sim.cycle + n_cycles for sim, _scope in lanes),
+            dtype=np.int64, count=n_lanes,
+        )
+        cycles = np.fromiter(
+            (sim.cycle for sim, _scope in lanes),
+            dtype=np.int64, count=n_lanes,
+        )
+        active = cycles < limits
+        budget = self.slice_cycles
+        while True:
+            runnable = np.nonzero(active)[0]
+            if runnable.size == 0:
+                break
+            for i in runnable:
+                sim, scope = lanes[i]
+                limit = int(limits[i])
+                with scope:
+                    self._advance_lane(sim, limit, budget)
+                cycles[i] = sim.cycle
+                if sim.cycle >= limit:
+                    active[i] = False
+        for sim, scope in lanes:
+            with scope:
+                sim._flush_lazy()
+
+    @staticmethod
+    def _advance_lane(sim, limit: int, budget: int) -> None:
+        """Up to ``budget`` executed cycles of one lane.
+
+        Byte-for-byte mirror of the loop body of
+        ``CMPSimulator._run_event`` (batch lanes never attach an
+        Observability session, so the ``obs`` branches vanish); the
+        boundary ``_flush_lazy`` is the phase driver's job.
+        """
+        executed = 0
+        while sim.cycle < limit and executed < budget:
+            now = sim.cycle
+            sim._event_step(now)
+            sim.executed_cycles += 1
+            executed += 1
+            nxt = sim._next_event(now)
+            sim.cycle = nxt if nxt < limit else limit

@@ -1,0 +1,95 @@
+"""Model specification for the execution-engine seam.
+
+An :class:`EngineSpec` names *what* to simulate -- application, design
+scheme, measurement window, seed and config overrides, i.e. everything
+:class:`repro.sim.parallel.SweepPoint` already canonicalizes -- without
+saying *how*.  Execution backends (:mod:`repro.engine.base`,
+:mod:`repro.engine.batch`) consume specs and return the same summary
+dicts regardless of backend; the spec also exposes the **lane
+signature** the batch backend uses to decide which specs may share one
+lockstep lane group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.config import Scheme
+
+#: Default mesh width of :class:`repro.sim.config.SystemConfig`, used
+#: when a spec carries no ``mesh_width`` override.
+DEFAULT_MESH_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One self-contained simulation request.
+
+    Mirrors :class:`~repro.sim.parallel.SweepPoint` field for field (it
+    must: cache keys are derived from the point, and the two convert
+    losslessly), but lives on the engine side of the seam so backends
+    do not import the sweep machinery.
+    """
+
+    app: str
+    scheme: Scheme
+    cycles: int
+    warmup: int
+    seed: int
+    #: Sorted ``(name, value)`` pairs of ``make_config`` overrides.
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, app: str, scheme: Scheme, cycles: int, warmup: int,
+              seed: int, overrides: Optional[Dict] = None) -> "EngineSpec":
+        items = tuple(sorted((overrides or {}).items()))
+        return cls(app=app, scheme=scheme, cycles=cycles, warmup=warmup,
+                   seed=seed, overrides=items)
+
+    @classmethod
+    def from_point(cls, point) -> "EngineSpec":
+        """Lift a :class:`~repro.sim.parallel.SweepPoint` (duck-typed:
+        anything with the same five fields plus ``overrides``)."""
+        return cls(app=point.app, scheme=point.scheme,
+                   cycles=point.cycles, warmup=point.warmup,
+                   seed=point.seed, overrides=tuple(point.overrides))
+
+    def to_point(self):
+        """The equivalent sweep point (for cache keys and labels)."""
+        from repro.sim.parallel import SweepPoint
+
+        return SweepPoint(app=self.app, scheme=self.scheme,
+                          cycles=self.cycles, warmup=self.warmup,
+                          seed=self.seed, overrides=self.overrides)
+
+    def overrides_dict(self) -> Dict:
+        return dict(self.overrides)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    def mesh_width(self) -> int:
+        for name, value in self.overrides:
+            if name == "mesh_width":
+                return int(value)
+        return DEFAULT_MESH_WIDTH
+
+    def lane_signature(self) -> Tuple:
+        """Key under which specs may share one lockstep lane group.
+
+        Lanes of one group advance through the same warm-up and
+        measurement phases cycle for cycle, and future vectorized
+        kernels index ``(B, node, port, vc)`` arrays, so the topology
+        and the measurement window must match; scheme, application and
+        seed are free to differ per lane.
+        """
+        return (self.mesh_width(), self.cycles, self.warmup)
+
+    def label(self) -> str:
+        return f"{self.app}/{self.scheme.value}/seed{self.seed}"

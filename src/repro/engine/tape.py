@@ -1,0 +1,166 @@
+"""Record/replay tapes for sharing synthetic streams across batch lanes.
+
+Lanes of one batch group often differ only in scheme (same app, same
+seed, same topology).  A :class:`SyntheticStream` is deterministic given
+``(benchmark, core, seed)`` plus the handful of config fields it reads
+-- so when those match, every lane's core ``i`` consumes the *same*
+access sequence, and generating it once per group instead of once per
+lane removes the per-lane RNG cost.
+
+The tape is positional: the first lane to need emission ``k`` extends
+the master stream (recording ``(tag, value)``), later lanes replay the
+recorded value.  Lanes may be at different positions -- a stalled lane
+consumes accesses more slowly -- and the master is only ever advanced
+in its natural call order (constructor access, then the prewarm
+protocol, then the access stream), because every reader requests the
+same tag sequence.  A tag mismatch means two non-equivalent streams
+were keyed together and raises rather than silently corrupting a lane.
+
+Values stored on a tape are immutable (tuples/ranges), so replaying
+shares them safely across lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.cpu.trace import AccessStream
+from repro.errors import WorkloadError
+from repro.sim.config import SystemConfig
+from repro.workloads.benchmarks import BenchmarkSpec
+from repro.workloads.mixes import make_stream, stream_signature
+
+#: Tape event tags, in the per-stream lifecycle order the simulator
+#: produces them: one constructor access, then the prewarm protocol
+#: (``prewarm``/``hot``/optionally ``shared``), then accesses forever.
+TAG_NEXT = "next"
+TAG_PREWARM = "prewarm"
+TAG_HOT = "hot"
+TAG_SHARED = "shared"
+
+
+def _record_next(stream) -> Tuple:
+    return stream.next_access()
+
+
+def _record_prewarm(stream) -> Tuple:
+    return tuple(stream.prewarm_blocks())
+
+
+def _record_hot(stream) -> Tuple:
+    return tuple(stream.hot_blocks())
+
+
+def _record_shared(stream):
+    return stream.shared_blocks()
+
+
+_RECORDERS: Dict[str, Callable] = {
+    TAG_NEXT: _record_next,
+    TAG_PREWARM: _record_prewarm,
+    TAG_HOT: _record_hot,
+    TAG_SHARED: _record_shared,
+}
+
+
+class StreamTape:
+    """Append-only event log backed by one lazily-built master stream."""
+
+    __slots__ = ("_factory", "_master", "log")
+
+    def __init__(self, factory: Callable[[], AccessStream]):
+        self._factory = factory
+        self._master = None
+        #: recorded ``(tag, value)`` events, index = emission position
+        self.log: List[Tuple[str, object]] = []
+
+    def event(self, index: int, tag: str):
+        """The value of emission ``index``; extends the master on first
+        request, replays otherwise."""
+        log = self.log
+        if index < len(log):
+            recorded_tag, value = log[index]
+            if recorded_tag != tag:
+                raise WorkloadError(
+                    f"stream tape divergence at position {index}: "
+                    f"recorded {recorded_tag!r}, requested {tag!r} "
+                    "(non-equivalent streams shared one tape)"
+                )
+            return value
+        if index != len(log):  # pragma: no cover - reader misuse
+            raise WorkloadError(
+                f"stream tape read skipped ahead to {index} "
+                f"(log has {len(log)} events)"
+            )
+        if self._master is None:
+            self._master = self._factory()
+        value = _RECORDERS[tag](self._master)
+        log.append((tag, value))
+        return value
+
+
+class TapeStream(AccessStream):
+    """One lane's reader over a shared :class:`StreamTape`.
+
+    Implements the full synthetic-stream surface the simulator touches
+    (``next_access`` plus the prewarm protocol) by replaying the tape
+    at its own position.
+    """
+
+    __slots__ = ("_tape", "_pos")
+
+    def __init__(self, tape: StreamTape):
+        self._tape = tape
+        self._pos = 0
+
+    def _event(self, tag: str):
+        value = self._tape.event(self._pos, tag)
+        self._pos += 1
+        return value
+
+    def next_access(self):
+        return self._event(TAG_NEXT)
+
+    def prewarm_blocks(self):
+        return self._event(TAG_PREWARM)
+
+    def hot_blocks(self):
+        return self._event(TAG_HOT)
+
+    def shared_blocks(self):
+        return self._event(TAG_SHARED)
+
+
+class TapePool:
+    """Group-scoped tape registry keyed by stream equivalence.
+
+    Two lanes get readers over the same tape exactly when
+    :func:`~repro.workloads.mixes.stream_signature` matches -- i.e. the
+    underlying :class:`SyntheticStream` construction would be
+    bit-identical.  The pool lives for one batch lane group and is
+    discarded with it (never shared across process-pool tasks).
+    """
+
+    def __init__(self):
+        self._tapes: Dict[Tuple, StreamTape] = {}
+        #: readers handed out minus tapes created = generations saved
+        self.streams_served = 0
+
+    def stream_factory(self, spec: BenchmarkSpec, core: int,
+                       config: SystemConfig, seed: int) -> TapeStream:
+        """Drop-in replacement for the workload layer's stream builder
+        (the ``stream_factory`` hook of ``homogeneous``)."""
+        key = stream_signature(spec, core, config, seed)
+        tape = self._tapes.get(key)
+        if tape is None:
+            tape = StreamTape(
+                lambda s=spec, c=core, cfg=config, sd=seed:
+                make_stream(s, c, cfg, sd)
+            )
+            self._tapes[key] = tape
+        self.streams_served += 1
+        return TapeStream(tape)
+
+    @property
+    def tapes_created(self) -> int:
+        return len(self._tapes)

@@ -347,17 +347,14 @@ def simulate_point(spec: SweepPoint) -> Dict:
 
     Top-level (hence picklable under the ``spawn`` start method) and
     hermetic: the result depends only on ``spec``, never on what ran
-    earlier in the process.
+    earlier in the process.  Delegates to the ``scalar`` execution
+    backend (:mod:`repro.engine`) -- the reference path every other
+    backend is certified byte-identical against.
     """
-    from repro.sim import reset_state
-    from repro.sim.experiment import app_factory, run_scheme
+    from repro.engine.base import ScalarEngine
+    from repro.engine.spec import EngineSpec
 
-    reset_state()
-    result = run_scheme(
-        spec.scheme, app_factory(spec.app, seed=spec.seed),
-        cycles=spec.cycles, warmup=spec.warmup, **spec.overrides_dict(),
-    )
-    return result.to_dict()
+    return ScalarEngine().run_one(EngineSpec.from_point(spec))
 
 
 def _simulate_chunk(specs: Sequence[SweepPoint]) -> List[Dict]:
@@ -371,6 +368,25 @@ def _simulate_chunk(specs: Sequence[SweepPoint]) -> List[Dict]:
             "wall_ms": (time.perf_counter() - t0) * 1e3,
         })
     return out
+
+
+def _simulate_batch_group(specs: Sequence[SweepPoint],
+                          max_width: int) -> List[Dict]:
+    """Worker entry point for one lockstep lane group.
+
+    Same row shape as :func:`_simulate_chunk`, so the pool-side result
+    handling is backend-agnostic; the lockstep run does not attribute
+    wall time per lane, so the group's wall is split evenly.
+    """
+    from repro.engine.base import get_engine
+    from repro.engine.spec import EngineSpec
+
+    engine = get_engine("batch", max_width=max_width)
+    t0 = time.perf_counter()
+    results = engine.run_group(
+        [EngineSpec.from_point(spec) for spec in specs])
+    wall_ms = (time.perf_counter() - t0) * 1e3 / len(specs)
+    return [{"result": result, "wall_ms": wall_ms} for result in results]
 
 
 # ----------------------------------------------------------------------
@@ -399,6 +415,13 @@ class SweepRunStats:
     resumed_points: int = 0
     #: corrupt cache entries evicted during this run
     cache_evictions: int = 0
+    #: execution backend the simulated points ran on
+    backend: str = "scalar"
+    #: batch backend only: lockstep lane groups run / lanes packed into
+    #: them / points that fell back to the scalar engine
+    lane_groups: int = 0
+    lanes_packed: int = 0
+    scalar_fallbacks: int = 0
 
     @property
     def points_per_sec(self) -> float:
@@ -424,6 +447,10 @@ class SweepRunStats:
             "worker_crashes": self.worker_crashes,
             "resumed_points": self.resumed_points,
             "cache_evictions": self.cache_evictions,
+            "backend": self.backend,
+            "lane_groups": self.lane_groups,
+            "lanes_packed": self.lanes_packed,
+            "scalar_fallbacks": self.scalar_fallbacks,
             "workers": self.workers,
             "chunks": self.chunks,
             "wall_seconds": self.wall_seconds,
@@ -474,6 +501,8 @@ def run_points(
     checkpoint_every: int = 1,
     max_retries: int = 2,
     retry_backoff: float = 0.25,
+    backend: str = "scalar",
+    batch_width: Optional[int] = None,
 ) -> Dict[str, Dict]:
     """Resolve every spec to a summary dict, keyed by content address.
 
@@ -489,14 +518,35 @@ def run_points(
     ``checkpoint_every`` completions and deleted when the grid
     finishes.  The returned mapping is insertion-ordered by first
     occurrence in ``specs`` and independent of completion order.
+
+    ``backend`` selects the execution engine (:mod:`repro.engine`):
+    ``"scalar"`` simulates one point at a time; ``"batch"`` packs up to
+    ``batch_width`` signature-compatible points into lockstep lane
+    groups (incompatible or leftover singleton points fall back to the
+    scalar engine and are counted in ``stats.scalar_fallbacks``).  The
+    backends are byte-identical per point, so cache keys, checkpoints
+    and fingerprints never depend on the backend or the width;
+    ``"batch"`` without numpy installed raises a typed
+    :class:`~repro.errors.BackendUnavailableError`.
     """
+    from repro.engine.batch import DEFAULT_MAX_WIDTH, pack_lanes
+    from repro.engine.spec import EngineSpec
+
     stats = stats if stats is not None else SweepRunStats()
     stats.workers = resolve_workers(workers)
+    stats.backend = backend
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
     if retry_backoff < 0:
         raise ConfigError(
             f"retry_backoff must be >= 0, got {retry_backoff}")
+    width = batch_width if batch_width is not None else DEFAULT_MAX_WIDTH
+    if backend != "scalar":
+        # Validates the backend name, the width, and (for "batch")
+        # numpy availability -- before any simulation starts.
+        from repro.engine.base import get_engine
+
+        get_engine(backend, max_width=width)
     t_start = time.perf_counter()
 
     store = SweepCache(cache_dir) if cache else None
@@ -545,6 +595,20 @@ def run_points(
             misses.append(key)
     stats.cache_misses = len(misses)
 
+    # Lane planning: under the batch backend, group signature-compatible
+    # misses into lockstep lane groups; everything else (and the whole
+    # miss list under the scalar backend) runs through the scalar path.
+    group_keys: List[List[str]] = []
+    scalar_keys: List[str] = list(misses)
+    if backend == "batch" and misses:
+        lane_specs = [EngineSpec.from_point(spec_of_key[k]) for k in misses]
+        groups, fallbacks = pack_lanes(lane_specs, width)
+        group_keys = [[misses[i] for i in group] for group in groups]
+        scalar_keys = [misses[i] for i in fallbacks]
+        stats.lane_groups = len(group_keys)
+        stats.lanes_packed = sum(len(g) for g in group_keys)
+        stats.scalar_fallbacks = len(scalar_keys)
+
     def run_serially(key: str) -> None:
         t0 = time.perf_counter()
         result = simulate_point(spec_of_key[key])
@@ -570,27 +634,60 @@ def run_points(
                 if retry_backoff > 0:
                     time.sleep(retry_backoff * (2 ** (attempt - 1)))
 
+    def run_group_serially(keys: Sequence[str]) -> None:
+        rows = _simulate_batch_group(
+            tuple(spec_of_key[k] for k in keys), width)
+        for key, row in zip(keys, rows):
+            stats.simulated += 1
+            stats.busy_seconds += row["wall_ms"] / 1e3
+            if store is not None:
+                store.put(key, spec_of_key[key].canonical(),
+                          row["result"])
+            finish(key, row["result"], row["wall_ms"])
+
+    def run_group_with_fallback(keys: Sequence[str]) -> None:
+        """One lane group; on any failure, unfinished lanes re-run
+        through the scalar path (byte-identical by contract), where a
+        genuine simulation bug reproduces with a readable traceback."""
+        try:
+            run_group_serially(keys)
+        except Exception:
+            for key in keys:
+                if results[key] is None:
+                    stats.retried += 1
+                    run_with_retries(key)
+
     def run_pool() -> None:
-        # ~4 chunks per worker keeps the pool load-balanced while
-        # amortising pickling/IPC over several points per round-trip.
-        chunk_size = max(1, len(misses) // (stats.workers * 4))
-        chunks = _chunked(misses, chunk_size)
-        stats.chunks = len(chunks)
+        # One task per lane group, plus the scalar keys chunked at ~4
+        # chunks per worker -- load-balanced while amortising
+        # pickling/IPC over several points per round-trip.
+        tasks: List[Tuple] = [
+            (_simulate_batch_group,
+             (tuple(spec_of_key[k] for k in keys), width),
+             tuple(keys))
+            for keys in group_keys
+        ]
+        if scalar_keys:
+            chunk_size = max(1, len(scalar_keys) // (stats.workers * 4))
+            tasks.extend(
+                (_simulate_chunk,
+                 (tuple(spec_of_key[k] for k in chunk),),
+                 chunk)
+                for chunk in _chunked(scalar_keys, chunk_size)
+            )
+        stats.chunks = len(tasks)
         retry: List[str] = []
         # The overall deadline is the sum of the per-point budgets: the
         # pool as a whole never waits longer than ``timeout`` per point.
         deadline = timeout * len(misses) if timeout else None
         executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(stats.workers, len(chunks)),
+            max_workers=min(stats.workers, len(tasks)),
             mp_context=_mp_context(),
         )
         try:
             futures = {
-                executor.submit(
-                    _simulate_chunk,
-                    tuple(spec_of_key[k] for k in chunk),
-                ): chunk
-                for chunk in chunks
+                executor.submit(fn, *args): chunk
+                for fn, args, chunk in tasks
             }
             for future in concurrent.futures.as_completed(
                     futures, timeout=deadline):
@@ -629,7 +726,9 @@ def run_points(
 
     try:
         if stats.workers <= 1 or len(misses) <= 1:
-            for key in misses:
+            for keys in group_keys:
+                run_group_with_fallback(keys)
+            for key in scalar_keys:
                 run_with_retries(key)
         else:
             run_pool()
@@ -654,4 +753,11 @@ def run_points(
         metrics.gauge("sweep.workers").set(stats.workers)
         metrics.gauge("sweep.utilization").set(stats.utilization)
         metrics.gauge("sweep.points_per_sec").set(stats.points_per_sec)
+        if backend == "batch":
+            metrics.counter("sweep.backend.lanes").inc(stats.lanes_packed)
+            metrics.counter("sweep.backend.groups").inc(stats.lane_groups)
+            metrics.counter("sweep.backend.scalar_fallback").inc(
+                stats.scalar_fallbacks)
+            for keys in group_keys:
+                metrics.histogram("sweep.backend.width").observe(len(keys))
     return results

@@ -73,10 +73,15 @@ class SweepResults:
     """Summaries of a completed sweep, keyed by (app, scheme label)."""
 
     def __init__(self, grid_spec: dict,
-                 data: Dict[str, Dict[str, dict]]):
+                 data: Dict[str, Dict[str, dict]],
+                 meta: Optional[Dict] = None):
         self.grid_spec = grid_spec
         #: data[app][scheme_label] -> SimulationResult.to_dict()
         self.data = data
+        #: execution metadata (backend, lane packing) -- informational
+        #: only: never part of :meth:`fingerprint` or any cache key,
+        #: because backends are byte-identical per point.
+        self.meta = dict(meta or {})
 
     # ------------------------------------------------------------------
 
@@ -112,15 +117,18 @@ class SweepResults:
     # ------------------------------------------------------------------
 
     def save(self, path: str) -> None:
+        payload = {"grid": self.grid_spec, "data": self.data}
+        if self.meta:
+            payload["meta"] = self.meta
         with open(path, "w", encoding="ascii") as fp:
-            json.dump({"grid": self.grid_spec, "data": self.data}, fp,
-                      indent=1, sort_keys=True)
+            json.dump(payload, fp, indent=1, sort_keys=True)
 
     @classmethod
     def load(cls, path: str) -> "SweepResults":
         with open(path, "r", encoding="ascii") as fp:
             payload = json.load(fp)
-        return cls(payload["grid"], payload["data"])
+        return cls(payload["grid"], payload["data"],
+                   meta=payload.get("meta"))
 
     def fingerprint(self) -> str:
         """SHA-256 of the canonical result payload.
@@ -146,7 +154,9 @@ def run_sweep(grid: SweepGrid,
               checkpoint=None,
               checkpoint_every: int = 1,
               max_retries: int = 2,
-              retry_backoff: float = 0.25) -> SweepResults:
+              retry_backoff: float = 0.25,
+              backend: str = "scalar",
+              batch_width: Optional[int] = None) -> SweepResults:
     """Execute every grid point and collect summaries.
 
     ``workers=1`` (the default) runs in-process, serially; ``workers=N``
@@ -156,19 +166,34 @@ def run_sweep(grid: SweepGrid,
     :mod:`repro.sim.parallel`), so only changed points simulate.
     ``checkpoint`` (path or :class:`~repro.sim.parallel.SweepCheckpoint`)
     journals finished points for kill-and-resume, and failed points
-    retry up to ``max_retries`` times with exponential backoff.  The
-    resulting ``SweepResults`` is identical in all modes.
+    retry up to ``max_retries`` times with exponential backoff.
+
+    ``backend`` selects the execution engine (``"scalar"`` or
+    ``"batch"``; see :mod:`repro.engine`); the chosen backend and its
+    lane packing are recorded in ``SweepResults.meta``.  The resulting
+    ``SweepResults.data`` -- and hence the fingerprint -- is identical
+    in all modes, across worker counts, cache states and backends.
     """
     specs = grid.point_specs()
+    run_stats = stats if stats is not None else SweepRunStats()
     resolved = run_points(
         specs, workers=workers, cache=cache, cache_dir=cache_dir,
-        progress=progress, timeout=timeout, metrics=metrics, stats=stats,
+        progress=progress, timeout=timeout, metrics=metrics,
+        stats=run_stats,
         checkpoint=checkpoint, checkpoint_every=checkpoint_every,
         max_retries=max_retries, retry_backoff=retry_backoff,
+        backend=backend, batch_width=batch_width,
     )
     data: Dict[str, Dict[str, dict]] = {}
     for spec in specs:
         data.setdefault(spec.app, {})[spec.scheme.value] = (
             resolved[spec.key()]
         )
-    return SweepResults(grid.spec_dict(), data)
+    meta = {"backend": run_stats.backend}
+    if backend == "batch":
+        meta.update(
+            lane_groups=run_stats.lane_groups,
+            lanes_packed=run_stats.lanes_packed,
+            scalar_fallbacks=run_stats.scalar_fallbacks,
+        )
+    return SweepResults(grid.spec_dict(), data, meta=meta)

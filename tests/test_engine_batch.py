@@ -1,0 +1,289 @@
+"""Batched lockstep execution backend: identity, packing, fallback.
+
+The contract under test (see ``repro/engine/``):
+
+* the ``batch`` backend is **byte-identical** to the scalar engine on
+  every point, at every lane width, across the four benchmark schemes
+  of the hot-path matrix;
+* incompatible points (mixed lane signatures) silently fall back to
+  the scalar engine, never error;
+* cache keys, checkpoints and fingerprints are backend-independent,
+  so entries written by one backend are hits for the other;
+* lane-group tasks pickle through the process pool;
+* requesting ``batch`` without numpy raises the typed
+  :class:`BackendUnavailableError` (CLI exit status 2).
+
+Everything that needs numpy is skipped when it is absent -- the tier-1
+suite must pass on a stdlib-only interpreter.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    BACKEND_NAMES, EngineSpec, ScalarEngine, available_backends,
+    batch_available, get_engine,
+)
+from repro.errors import BackendUnavailableError, ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.config import Scheme
+from repro.sim.parallel import (
+    SweepPoint, SweepRunStats, _simulate_batch_group, run_points,
+)
+from repro.sim.sweep import SweepGrid, run_sweep
+
+FAST = {"mesh_width": 4, "capacity_scale": 1 / 64}
+
+#: The hot-path fingerprint matrix schemes (tests/test_hotpath.py).
+SCHEMES = [
+    Scheme.SRAM_64TSB,
+    Scheme.STTRAM_64TSB,
+    Scheme.STTRAM_4TSB,
+    Scheme.STTRAM_4TSB_WB,
+]
+
+needs_numpy = pytest.mark.skipif(
+    not batch_available(), reason="numpy not installed (repro[batch])")
+
+
+def matrix_specs(cycles=400, warmup=100, app="sclust", seed=5):
+    return [EngineSpec.build(app, scheme, cycles, warmup, seed, FAST)
+            for scheme in SCHEMES]
+
+
+def tiny_grid(**kw):
+    spec = dict(apps=["x264", "hmmer"],
+                schemes=(Scheme.SRAM_64TSB, Scheme.STTRAM_4TSB_WB),
+                cycles=250, warmup=100, overrides=dict(FAST))
+    spec.update(kw)
+    return SweepGrid(**spec)
+
+
+# ----------------------------------------------------------------------
+# EngineSpec: the canonical unit of work
+# ----------------------------------------------------------------------
+
+
+class TestEngineSpec:
+    def test_point_roundtrip(self):
+        point = SweepPoint.build(
+            "tpcc", Scheme.STTRAM_4TSB_WB, 300, 100, 2, FAST)
+        spec = EngineSpec.from_point(point)
+        assert spec.to_point().key() == point.key()
+
+    def test_lane_signature_groups_topology_and_window(self):
+        a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1, FAST)
+        b = EngineSpec.build("mcf", Scheme.STTRAM_4TSB, 300, 100, 9, FAST)
+        assert a.lane_signature() == b.lane_signature()
+        for change in (dict(cycles=301), dict(warmup=99),
+                       dict(overrides={**FAST, "mesh_width": 8})):
+            c = EngineSpec.build(
+                "tpcc", Scheme.SRAM_64TSB,
+                change.get("cycles", 300), change.get("warmup", 100), 1,
+                change.get("overrides", FAST))
+            assert a.lane_signature() != c.lane_signature()
+
+    def test_overrides_order_insensitive(self):
+        a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1,
+                             {"mesh_width": 4, "capacity_scale": 1 / 64})
+        b = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1,
+                             {"capacity_scale": 1 / 64, "mesh_width": 4})
+        assert a == b
+
+    def test_spec_pickles(self):
+        spec = matrix_specs()[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# Lane packing (pure planning -- no numpy needed)
+# ----------------------------------------------------------------------
+
+
+class TestPackLanes:
+    def pack(self, specs, width):
+        from repro.engine.batch import pack_lanes
+        return pack_lanes(specs, width)
+
+    def test_compatible_specs_chunk_to_width(self):
+        specs = matrix_specs() * 2  # 8 compatible specs
+        groups, fallbacks = self.pack(specs, 3)
+        assert [len(g) for g in groups] == [3, 3, 2]
+        assert fallbacks == []
+        covered = sorted(i for g in groups for i in g)
+        assert covered == list(range(8))
+
+    def test_singleton_chunks_fall_back(self):
+        specs = matrix_specs()
+        groups, fallbacks = self.pack(specs, 3)
+        assert [len(g) for g in groups] == [3]
+        assert len(fallbacks) == 1
+
+    def test_mixed_signatures_bucket_separately(self):
+        a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1, FAST)
+        b = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 999, 100, 1, FAST)
+        groups, fallbacks = self.pack([a, b, a, b], 8)
+        assert len(groups) == 2
+        assert fallbacks == []
+
+    def test_width_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            self.pack(matrix_specs(), 0)
+
+
+# ----------------------------------------------------------------------
+# Availability: typed error without numpy, CLI exit 2
+# ----------------------------------------------------------------------
+
+
+class TestAvailability:
+    def test_scalar_always_available(self):
+        assert "scalar" in available_backends()
+        assert isinstance(get_engine("scalar"), ScalarEngine)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            get_engine("vectorized-someday")
+        assert set(BACKEND_NAMES) == {"scalar", "batch"}
+
+    def test_batch_without_numpy_raises_typed_error(self, monkeypatch):
+        import repro.engine.batch as batch_mod
+        monkeypatch.setattr(batch_mod, "np", None)
+        assert not batch_available()
+        assert available_backends() == ["scalar"]
+        with pytest.raises(BackendUnavailableError):
+            get_engine("batch")
+
+    def test_cli_exits_2_without_numpy(self, monkeypatch, capsys):
+        import repro.engine.batch as batch_mod
+        from repro.cli import main
+        monkeypatch.setattr(batch_mod, "np", None)
+        rc = main(["sweep", "--apps", "x264", "--backend", "batch",
+                   "--no-cache", "--cycles", "100", "--warmup", "50"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro[batch]" in err
+
+    def test_perf_backend_flag_exits_2_without_numpy(self, monkeypatch,
+                                                     capsys):
+        import repro.engine.batch as batch_mod
+        from repro.cli import main
+        monkeypatch.setattr(batch_mod, "np", None)
+        rc = main(["perf", "--backend", "batch", "--cycles", "200",
+                   "--warmup", "100", "--repeats", "1"])
+        assert rc == 2
+
+
+# ----------------------------------------------------------------------
+# Tentpole: bit-identity against the scalar engine
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+class TestBatchIdentity:
+    @pytest.fixture(scope="class")
+    def scalar_results(self):
+        return ScalarEngine().run_specs(matrix_specs())
+
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_matrix_identity_at_width(self, width, scalar_results):
+        engine = get_engine("batch", max_width=width)
+        assert engine.run_specs(matrix_specs()) == scalar_results
+        if width == 1:
+            # Width 1 means every lane is a singleton: pure fallback.
+            assert engine.stats.scalar_fallbacks == len(SCHEMES)
+            assert engine.stats.lane_groups == 0
+        else:
+            assert engine.stats.lanes_packed >= 2
+
+    def test_small_slices_interleave_identically(self, scalar_results):
+        engine = get_engine("batch", max_width=8, slice_cycles=7)
+        assert engine.run_specs(matrix_specs()) == scalar_results
+
+    def test_mixed_grid_falls_back_to_scalar(self):
+        specs = [
+            EngineSpec.build("x264", Scheme.SRAM_64TSB,
+                             200 + 10 * i, 80, 1, FAST)
+            for i in range(3)
+        ]
+        engine = get_engine("batch")
+        results = engine.run_specs(specs)
+        assert engine.stats.scalar_fallbacks == 3
+        assert engine.stats.lane_groups == 0
+        assert results == ScalarEngine().run_specs(specs)
+
+    def test_lane_group_tapes_shared(self):
+        engine = get_engine("batch")
+        engine.run_specs(matrix_specs())
+        # 4 lanes x n_cores streams served from < that many masters.
+        assert engine.stats.tape_streams_served > 0
+        assert (engine.stats.tapes_created
+                < engine.stats.tape_streams_served)
+
+
+# ----------------------------------------------------------------------
+# Sweep integration: pool, cache interchangeability, metadata, metrics
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+class TestSweepIntegration:
+    def test_batch_group_rows_pickle(self):
+        grid = tiny_grid()
+        rows = _simulate_batch_group(grid.point_specs(), 8)
+        assert pickle.loads(pickle.dumps(rows)) == rows
+        assert all({"result", "wall_ms"} <= set(r) for r in rows)
+
+    def test_pool_batch_matches_serial_scalar(self):
+        grid = tiny_grid()
+        scalar = run_sweep(grid, workers=1, cache=False)
+        stats = SweepRunStats()
+        batch = run_sweep(grid, workers=2, cache=False, backend="batch",
+                          stats=stats)
+        assert batch.fingerprint() == scalar.fingerprint()
+        assert stats.backend == "batch"
+        assert stats.lanes_packed == 4
+
+    def test_backend_recorded_in_meta_not_fingerprint(self):
+        grid = tiny_grid()
+        scalar = run_sweep(grid, workers=1, cache=False)
+        batch = run_sweep(grid, workers=1, cache=False, backend="batch")
+        assert scalar.meta["backend"] == "scalar"
+        assert batch.meta["backend"] == "batch"
+        assert batch.meta["lanes_packed"] == 4
+        assert batch.fingerprint() == scalar.fingerprint()
+
+    @pytest.mark.parametrize("first,second",
+                             [("batch", "scalar"), ("scalar", "batch")])
+    def test_cache_entries_interchangeable(self, tmp_path, first, second):
+        grid = tiny_grid()
+        cold = SweepRunStats()
+        a = run_sweep(grid, workers=1, cache=True, cache_dir=str(tmp_path),
+                      backend=first, stats=cold)
+        warm = SweepRunStats()
+        b = run_sweep(grid, workers=1, cache=True, cache_dir=str(tmp_path),
+                      backend=second, stats=warm)
+        assert cold.cache_misses == 4 and warm.cache_hits == 4
+        assert warm.simulated == 0
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_batch_width_one_is_all_fallbacks(self):
+        grid = tiny_grid()
+        stats = SweepRunStats()
+        sweep = run_sweep(grid, workers=1, cache=False, backend="batch",
+                          batch_width=1, stats=stats)
+        assert stats.scalar_fallbacks == 4
+        assert stats.lane_groups == 0
+        assert sweep.fingerprint() == run_sweep(
+            grid, workers=1, cache=False).fingerprint()
+
+    def test_backend_metrics_counters(self):
+        registry = MetricsRegistry()
+        specs = tiny_grid().point_specs()
+        run_points(specs, workers=1, cache=False, backend="batch",
+                   metrics=registry)
+        assert registry.counter("sweep.backend.lanes").value == 4
+        assert registry.counter("sweep.backend.groups").value == 1
+        assert registry.counter("sweep.backend.scalar_fallback").value == 0
+        assert "sweep.backend.width" in registry.names()
