@@ -9,9 +9,13 @@ Subcommands::
     python -m repro perf --out BENCH_perf.json
     python -m repro sweep --apps tpcc,mcf --workers 4 --out sweep.json
     python -m repro sweep --apps tpcc,mcf --backend batch
+    python -m repro sweep --apps tpcc --progress rich --trace-out tr.json
     python -m repro chaos --app tpcc --fault crc --verify-determinism
     python -m repro trace --app tpcc --out trace.jsonl --chrome trace.json
     python -m repro report --app tpcc
+    python -m repro report --compare -2 -1
+    python -m repro ledger
+    python -m repro ledger diff -2 -1 --threshold 0.3
     python -m repro list
 
 All experiment subcommands accept ``--mesh-width``, ``--capacity-scale``,
@@ -139,8 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="per-point wall-clock budget")
-    sweep_p.add_argument("--progress", action="store_true",
-                         help="print each point as it completes")
+    sweep_p.add_argument("--progress", nargs="?", const="plain",
+                         default=None, choices=("plain", "rich"),
+                         help="live progress: 'plain' prints one line "
+                              "per point (CI-friendly), 'rich' renders "
+                              "a rewritten status bar with ETA, worker "
+                              "roster and straggler flags")
+    sweep_p.add_argument("--telemetry", action="store_true",
+                         help="record cross-worker spans and merged "
+                              "worker metrics into the sweep metadata "
+                              "(implied by --trace-out; --progress "
+                              "alone keeps saved output telemetry-free)")
+    sweep_p.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the merged sweep Chrome trace "
+                              "(one track per worker process)")
+    sweep_p.add_argument("--ledger", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="append this run to the persistent run "
+                              "ledger (also disabled by REPRO_LEDGER=0)")
+    sweep_p.add_argument("--ledger-path", default=None, metavar="PATH",
+                         help="ledger file location (default: "
+                              "$REPRO_LEDGER_DIR or the sweep cache "
+                              "root, ledger.jsonl)")
     sweep_p.add_argument("--out", default=None, metavar="PATH",
                          help="write the sweep results JSON")
     sweep_p.add_argument("--expect-min-hits", type=float, default=None,
@@ -219,14 +243,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_p = sub.add_parser(
         "report", help="run one scheme and print the observability report")
-    report_p.add_argument("--app", required=True)
+    report_p.add_argument("--app", default=None)
     report_p.add_argument("--scheme", default=Scheme.STTRAM_4TSB_WB.value,
                           choices=sorted(_SCHEME_BY_NAME))
     report_p.add_argument("--epoch", type=_positive_int, default=256,
                           help="epoch sampler period in cycles")
     report_p.add_argument("--scheduler", default="event",
                           choices=("event", "dense"))
+    report_p.add_argument("--compare", nargs=2, default=None,
+                          metavar=("A", "B"),
+                          help="instead of simulating, diff two sweep "
+                               "runs: each ref is a ledger run-id "
+                               "prefix, a signed ledger index (-1 = "
+                               "latest), or a BENCH_perf.json path")
+    report_p.add_argument("--threshold", type=float, default=0.2,
+                          metavar="FRACTION",
+                          help="regression threshold for --compare "
+                               "(default 0.2 = 20%%)")
+    report_p.add_argument("--ledger-path", default=None, metavar="PATH",
+                          help="ledger file for --compare refs")
     _add_common(report_p)
+
+    ledger_p = sub.add_parser(
+        "ledger", help="inspect the persistent sweep run ledger")
+    ledger_p.add_argument("action", nargs="?", default="list",
+                          choices=("list", "diff", "validate"),
+                          help="list recent runs, diff two runs, or "
+                               "validate every ledger row")
+    ledger_p.add_argument("refs", nargs="*", metavar="REF",
+                          help="for diff: two run refs (run-id prefix "
+                               "or signed index, -1 = latest)")
+    ledger_p.add_argument("--path", default=None, metavar="PATH",
+                          help="ledger file (default: "
+                               "$REPRO_LEDGER_DIR or the sweep cache "
+                               "root, ledger.jsonl)")
+    ledger_p.add_argument("--limit", type=_positive_int, default=20,
+                          help="rows shown by list (default 20)")
+    ledger_p.add_argument("--backend", default=None,
+                          choices=BACKEND_NAMES,
+                          help="list filter: only runs of this backend")
+    ledger_p.add_argument("--spec", default=None, metavar="PREFIX",
+                          help="list filter: grid spec digest prefix")
+    ledger_p.add_argument("--threshold", type=float, default=0.2,
+                          metavar="FRACTION",
+                          help="regression threshold for diff "
+                               "(default 0.2 = 20%%)")
 
     sub.add_parser("list", help="list benchmarks and schemes")
     return parser
@@ -358,17 +419,29 @@ def _cmd_sweep(args) -> int:
     grid = SweepGrid(apps=apps, schemes=schemes, cycles=args.cycles,
                      warmup=args.warmup, seed=args.seed,
                      overrides=_overrides(args))
-    progress = None
-    if args.progress:
-        progress = lambda app, scheme: print(f"  done {app}/{scheme.value}")
+    telemetry = None
+    if args.telemetry or args.trace_out or args.progress:
+        from repro.obs.progress import ProgressRenderer
+        from repro.obs.telemetry import SweepTelemetry
+
+        telemetry = SweepTelemetry()
+        if args.progress:
+            telemetry.progress = ProgressRenderer(mode=args.progress)
     stats = SweepRunStats()
     sweep = run_sweep(
-        grid, progress, workers=args.workers, cache=args.cache,
+        grid, workers=args.workers, cache=args.cache,
         cache_dir=args.cache_dir, timeout=args.timeout, stats=stats,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         backend=args.backend, batch_width=args.batch_width,
+        telemetry=telemetry, ledger=args.ledger,
+        ledger_path=args.ledger_path,
     )
+    if telemetry is not None and not (args.telemetry or args.trace_out):
+        # --progress alone is a live display, not a telemetry request:
+        # the saved JSON must stay identical to a progress-less run
+        # (CI byte-compares warm replays against it).
+        sweep.meta.pop("telemetry", None)
 
     throughput = sweep.normalized("instruction_throughput",
                                   baseline=Scheme.SRAM_64TSB.value)
@@ -395,6 +468,17 @@ def _cmd_sweep(args) -> int:
             f"{stats.lane_groups} groups, "
             f"{stats.scalar_fallbacks} scalar fallbacks"
         )
+    if telemetry is not None:
+        rollups = telemetry.rollups()
+        spanned = sum(r["total_s"] for name, r in rollups.items()
+                      if name == "sweep.run")
+        print(f"telemetry: {len(telemetry.spans())} spans from "
+              f"{max(1, len(telemetry.workers()))} worker(s), "
+              f"sweep.run {spanned:.2f}s")
+    if args.trace_out:
+        telemetry.write_chrome(args.trace_out)
+        print(f"wrote {args.trace_out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
     if args.out:
         sweep.save(args.out)
         print(f"wrote {args.out}")
@@ -548,13 +632,95 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _resolve_run_ref(ref: str, ledger):
+    """A compare ref: a BENCH_perf.json path or a ledger run ref."""
+    import os
+
+    from repro.obs.ledger import record_from_bench
+
+    if ref.endswith(".json") or os.path.sep in ref:
+        with open(ref, "r", encoding="ascii") as fh:
+            return record_from_bench(json.load(fh), ref)
+    return ledger.resolve(ref)
+
+
 def _cmd_report(args) -> int:
+    if args.compare:
+        from repro.obs.ledger import RunLedger, diff_records
+
+        ledger = RunLedger(path=args.ledger_path)
+        try:
+            a = _resolve_run_ref(args.compare[0], ledger)
+            b = _resolve_run_ref(args.compare[1], ledger)
+        except (LookupError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines, failures = diff_records(a, b, threshold=args.threshold)
+        print("\n".join(lines))
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.threshold:.0%} threshold")
+        return 0
+
+    if not args.app:
+        print("error: report needs --app (or --compare A B)",
+              file=sys.stderr)
+        return 2
+
     from repro.obs import Observability
     from repro.obs.report import render_report
 
     obs = Observability(epoch=args.epoch)
     _sim, result = _instrumented_run(args, obs)
     print(render_report(result.to_dict(), obs, args.mesh_width))
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    from repro.obs.ledger import RunLedger, diff_records, format_entries
+
+    ledger = RunLedger(path=args.path)
+
+    if args.action == "validate":
+        rows, errors = ledger.validate()
+        for error in errors:
+            print(f"LEDGER VIOLATION: {error}", file=sys.stderr)
+        print(f"{rows} valid record(s) in {ledger.path}")
+        return 1 if errors else 0
+
+    if args.action == "diff":
+        if len(args.refs) != 2:
+            print("error: ledger diff needs exactly two refs "
+                  "(run-id prefix or signed index, -1 = latest)",
+                  file=sys.stderr)
+            return 2
+        try:
+            a = ledger.resolve(args.refs[0])
+            b = ledger.resolve(args.refs[1])
+        except LookupError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines, failures = diff_records(a, b, threshold=args.threshold)
+        print("\n".join(lines))
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    records = ledger.entries()
+    if args.backend:
+        records = [r for r in records if r["backend"] == args.backend]
+    if args.spec:
+        records = [r for r in records
+                   if r["spec_digest"].startswith(args.spec)]
+    if not records:
+        print(f"no matching runs in {ledger.path}")
+        return 0
+    print(format_entries(records[-args.limit:]))
+    if ledger.corrupt_dropped:
+        print(f"({ledger.corrupt_dropped} corrupt line(s) skipped)",
+              file=sys.stderr)
     return 0
 
 
@@ -580,6 +746,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "ledger": _cmd_ledger,
     "list": _cmd_list,
 }
 

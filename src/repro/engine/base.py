@@ -70,16 +70,39 @@ class ScalarEngine(ExecutionEngine):
 
     name = "scalar"
 
+    #: optional :class:`~repro.obs.telemetry.SpanRecorder`; when set,
+    #: ``run_one`` times its setup and simulate stages as
+    #: ``engine.setup`` / ``engine.simulate`` spans.  Pure reader: the
+    #: recorded result is produced by the same calls either way.
+    recorder = None
+
     def run_one(self, spec: EngineSpec) -> Dict:
         from repro.sim import reset_state
         from repro.sim.experiment import app_factory, run_scheme
 
-        reset_state()
-        result = run_scheme(
-            spec.scheme, app_factory(spec.app, seed=spec.seed),
-            cycles=spec.cycles, warmup=spec.warmup,
-            **spec.overrides_dict(),
-        )
+        if self.recorder is None:
+            reset_state()
+            result = run_scheme(
+                spec.scheme, app_factory(spec.app, seed=spec.seed),
+                cycles=spec.cycles, warmup=spec.warmup,
+                **spec.overrides_dict(),
+            )
+            return result.to_dict()
+
+        # Instrumented path: the exact run_scheme/run_workload sequence,
+        # unrolled so construction and execution time apart.
+        from repro.sim.config import make_config
+        from repro.sim.simulator import CMPSimulator
+
+        with self.recorder.span("engine.setup", app=spec.app,
+                                scheme=spec.scheme.value):
+            reset_state()
+            config = make_config(spec.scheme, **spec.overrides_dict())
+            workload = app_factory(spec.app, seed=spec.seed)(config)
+            sim = CMPSimulator(config, workload)
+        with self.recorder.span("engine.simulate", app=spec.app,
+                                scheme=spec.scheme.value):
+            result = sim.run(spec.cycles, warmup=spec.warmup)
         return result.to_dict()
 
 

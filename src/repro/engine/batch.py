@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import gc
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -174,6 +175,9 @@ class BatchEngine(ExecutionEngine):
         self.slice_cycles = slice_cycles
         self.stats = BatchEngineStats()
         self._scalar = ScalarEngine()
+        #: optional :class:`~repro.obs.telemetry.SpanRecorder`; times
+        #: the lane-group phases as ``batch.*`` spans.  Pure reader.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # Engine surface
@@ -182,6 +186,12 @@ class BatchEngine(ExecutionEngine):
     def run_one(self, spec: EngineSpec) -> Dict:
         """A single spec is by definition a width-1 group: scalar."""
         self.stats.scalar_fallbacks += 1
+        self._scalar.recorder = self.recorder
+        if self.recorder is not None:
+            with self.recorder.span("batch.scalar_fallback",
+                                    app=spec.app,
+                                    scheme=spec.scheme.value):
+                return self._scalar.run_one(spec)
         return self._scalar.run_one(spec)
 
     def run_specs(self, specs: Sequence[EngineSpec],
@@ -223,14 +233,24 @@ class BatchEngine(ExecutionEngine):
         self.stats.widths.append(len(specs))
 
         tape_pool = TapePool()
+        rec = self.recorder
+
+        def mark(name: str, t0: float) -> None:
+            if rec is not None:
+                rec.add(name, t0, time.monotonic() - t0,
+                        lanes=len(specs))
+
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
+            t0 = time.monotonic()
             lanes = [
                 self._build_lane(spec, tape_pool) for spec in specs
             ]
+            mark("batch.lane_build", t0)
             warmup = specs[0].warmup
             cycles = specs[0].cycles
+            t0 = time.monotonic()
             self._run_phase(lanes, warmup)
             snapshots = []
             for sim, scope in lanes:
@@ -239,7 +259,11 @@ class BatchEngine(ExecutionEngine):
                     start_cycle = sim.cycle
                     sim._reset_measurement_stats()
                 snapshots.append((start_cycle, committed))
+            mark("batch.warmup", t0)
+            t0 = time.monotonic()
             self._run_phase(lanes, cycles)
+            mark("batch.measure", t0)
+            t0 = time.monotonic()
             out = []
             for (sim, scope), (start_cycle, committed) in zip(
                     lanes, snapshots):
@@ -249,9 +273,12 @@ class BatchEngine(ExecutionEngine):
                     result = SimulationResult.collect(
                         sim, start_cycle, committed)
                 out.append(result.to_dict())
+            mark("batch.collect", t0)
         finally:
             if gc_was_enabled:
+                t0 = time.monotonic()
                 gc.enable()
+                mark("batch.gc_reenable", t0)
         self.stats.tapes_created += tape_pool.tapes_created
         self.stats.tape_streams_served += tape_pool.streams_served
         return out

@@ -28,14 +28,23 @@ from repro.obs.events import (
     EV_GUARD_VIOLATION, EV_PKT_DELIVER, EV_PKT_FORWARD, EV_PKT_INJECT,
     EV_SCHED_EXEC, EV_SCHED_SKIP, EV_TSB_COMBINE,
 )
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION, RunLedger, build_record, diff_records,
+    validate_record,
+)
 from repro.obs.metrics import (
-    DEFAULT_PERCENTILES, Counter, Gauge, Histogram, MetricsRegistry,
-    percentiles_from_hist,
+    DEFAULT_PERCENTILES, Counter, Gauge, Histogram, LabeledGauge,
+    MetricsRegistry, percentiles_from_hist,
 )
 from repro.obs.observability import Observability
+from repro.obs.progress import ProgressRenderer
 from repro.obs.sampler import EpochSample, EpochSampler
 from repro.obs.schema import EVENT_SCHEMA, validate_event, validate_jsonl
 from repro.obs.sinks import ChromeTraceSink, JSONLSink
+from repro.obs.telemetry import (
+    SPAN_NAMES, SpanRecorder, SweepTelemetry, WorkerTelemetry,
+    rollup_spans, validate_chrome_trace,
+)
 
 __all__ = [
     "AccuracySummary", "busy_at", "per_bank_busy_fraction",
@@ -47,9 +56,14 @@ __all__ = [
     "EV_GUARD_VIOLATION", "EV_PKT_DELIVER", "EV_PKT_FORWARD",
     "EV_PKT_INJECT", "EV_SCHED_EXEC", "EV_SCHED_SKIP", "EV_TSB_COMBINE",
     "DEFAULT_PERCENTILES", "Counter", "Gauge", "Histogram",
-    "MetricsRegistry", "percentiles_from_hist",
+    "LabeledGauge", "MetricsRegistry", "percentiles_from_hist",
     "Observability",
+    "ProgressRenderer",
     "EpochSample", "EpochSampler",
     "EVENT_SCHEMA", "validate_event", "validate_jsonl",
     "ChromeTraceSink", "JSONLSink",
+    "LEDGER_SCHEMA_VERSION", "RunLedger", "build_record", "diff_records",
+    "validate_record",
+    "SPAN_NAMES", "SpanRecorder", "SweepTelemetry", "WorkerTelemetry",
+    "rollup_spans", "validate_chrome_trace",
 ]

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SweepTelemetry, WorkerTelemetry
 from repro.sim.config import Scheme
 
 #: Bumped when the cached payload layout (not the simulated content)
@@ -342,51 +343,89 @@ class SweepCheckpoint:
 # ----------------------------------------------------------------------
 
 
-def simulate_point(spec: SweepPoint) -> Dict:
+def simulate_point(spec: SweepPoint, recorder=None) -> Dict:
     """Simulate one grid point from a clean process-global state.
 
     Top-level (hence picklable under the ``spawn`` start method) and
     hermetic: the result depends only on ``spec``, never on what ran
     earlier in the process.  Delegates to the ``scalar`` execution
     backend (:mod:`repro.engine`) -- the reference path every other
-    backend is certified byte-identical against.
+    backend is certified byte-identical against.  ``recorder`` (a
+    :class:`~repro.obs.telemetry.SpanRecorder`) splits the run into
+    ``engine.setup``/``engine.simulate`` spans; it observes wall time
+    only and never alters the summary.
     """
     from repro.engine.base import ScalarEngine
     from repro.engine.spec import EngineSpec
 
-    return ScalarEngine().run_one(EngineSpec.from_point(spec))
+    engine = ScalarEngine()
+    engine.recorder = recorder
+    return engine.run_one(EngineSpec.from_point(spec))
 
 
-def _simulate_chunk(specs: Sequence[SweepPoint]) -> List[Dict]:
-    """Worker entry point: one IPC round-trip covers a chunk of points."""
+def _simulate_chunk(specs: Sequence[SweepPoint], telemetry: bool = False,
+                    submit_ts: Optional[float] = None) -> Dict:
+    """Worker entry point: one IPC round-trip covers a chunk of points.
+
+    Returns ``{"rows": [{"result", "wall_ms"}, ...], "telemetry":
+    payload-or-None}``.  With ``telemetry`` on, the rows are joined by
+    the chunk's span list and a per-chunk metrics *delta* snapshot
+    (fresh registry per chunk, so the parent can sum snapshots without
+    double counting); ``submit_ts`` is the parent's monotonic submit
+    time, from which the queue-wait span is derived.
+    """
+    tel = WorkerTelemetry(submit_ts=submit_ts) if telemetry else None
+    t_chunk = time.monotonic()
     out = []
     for spec in specs:
         t0 = time.perf_counter()
-        result = simulate_point(spec)
-        out.append({
-            "result": result,
-            "wall_ms": (time.perf_counter() - t0) * 1e3,
-        })
-    return out
+        if tel is not None:
+            result = simulate_point(spec, recorder=tel.recorder)
+        else:
+            result = simulate_point(spec)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        if tel is not None:
+            tel.point_done(wall_ms)
+        out.append({"result": result, "wall_ms": wall_ms})
+    if tel is not None:
+        tel.recorder.add("chunk.run", t_chunk,
+                         time.monotonic() - t_chunk, points=len(specs))
+    return {"rows": out,
+            "telemetry": tel.export() if tel is not None else None}
 
 
-def _simulate_batch_group(specs: Sequence[SweepPoint],
-                          max_width: int) -> List[Dict]:
+def _simulate_batch_group(specs: Sequence[SweepPoint], max_width: int,
+                          telemetry: bool = False,
+                          submit_ts: Optional[float] = None) -> Dict:
     """Worker entry point for one lockstep lane group.
 
-    Same row shape as :func:`_simulate_chunk`, so the pool-side result
-    handling is backend-agnostic; the lockstep run does not attribute
-    wall time per lane, so the group's wall is split evenly.
+    Same payload shape as :func:`_simulate_chunk`, so the pool-side
+    result handling is backend-agnostic; the lockstep run does not
+    attribute wall time per lane, so the group's wall is split evenly.
+    The batch engine contributes its own sub-spans (lane build, warmup,
+    measure, collect, GC re-enable) through the shared recorder.
     """
     from repro.engine.base import get_engine
     from repro.engine.spec import EngineSpec
 
+    tel = WorkerTelemetry(submit_ts=submit_ts) if telemetry else None
     engine = get_engine("batch", max_width=max_width)
+    if tel is not None:
+        engine.recorder = tel.recorder
+    t_chunk = time.monotonic()
     t0 = time.perf_counter()
     results = engine.run_group(
         [EngineSpec.from_point(spec) for spec in specs])
     wall_ms = (time.perf_counter() - t0) * 1e3 / len(specs)
-    return [{"result": result, "wall_ms": wall_ms} for result in results]
+    if tel is not None:
+        for _ in results:
+            tel.point_done(wall_ms)
+        tel.recorder.add("chunk.run", t_chunk,
+                         time.monotonic() - t_chunk,
+                         points=len(specs), lanes=len(specs))
+    return {"rows": [{"result": result, "wall_ms": wall_ms}
+                     for result in results],
+            "telemetry": tel.export() if tel is not None else None}
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +542,7 @@ def run_points(
     retry_backoff: float = 0.25,
     backend: str = "scalar",
     batch_width: Optional[int] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> Dict[str, Dict]:
     """Resolve every spec to a summary dict, keyed by content address.
 
@@ -528,6 +568,13 @@ def run_points(
     and fingerprints never depend on the backend or the width;
     ``"batch"`` without numpy installed raises a typed
     :class:`~repro.errors.BackendUnavailableError`.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.SweepTelemetry`)
+    turns on the sweep-scoped telemetry plane: cross-worker span
+    recording, per-worker metric snapshots merged into one registry,
+    and the live-progress stream.  Telemetry is a pure reader -- it
+    never alters results, cache keys or completion order -- so a
+    telemetry-on run is byte-identical to a telemetry-off one.
     """
     from repro.engine.batch import DEFAULT_MAX_WIDTH, pack_lanes
     from repro.engine.spec import EngineSpec
@@ -547,7 +594,14 @@ def run_points(
         from repro.engine.base import get_engine
 
         get_engine(backend, max_width=width)
+    tel = telemetry
+    # Parent-as-worker telemetry bundle: serial execution and pool
+    # retries simulate in this process; their spans and per-point
+    # metrics are recorded here and absorbed at the end, so the merged
+    # registry sees identical counter totals whatever the worker count.
+    wtel = WorkerTelemetry() if tel is not None else None
     t_start = time.perf_counter()
+    t_mono = time.monotonic()
 
     store = SweepCache(cache_dir) if cache else None
     ckpt = checkpoint
@@ -571,26 +625,44 @@ def run_points(
         ckpt.prune(spec_of_key.keys())
         resumed = dict(ckpt.completed)
 
-    def finish(key: str, result: Dict, wall_ms: float = 0.0) -> None:
+    def finish(key: str, result: Dict, wall_ms: float = 0.0,
+               source: str = "sim", worker: Optional[int] = None) -> None:
         results[key] = result
         if ckpt is not None and key not in ckpt.completed:
             ckpt.record(key, result, every=checkpoint_every)
         if wall_ms and metrics is not None:
             metrics.histogram("sweep.point_ms").observe(int(wall_ms))
+        if tel is not None:
+            tel.point_done(spec_of_key[key].label(), source,
+                           wall_ms=wall_ms, worker=worker)
         if progress is not None:
             spec = spec_of_key[key]
             progress(spec.app, spec.scheme)
 
+    def cache_put(key: str, result: Dict) -> None:
+        if store is None:
+            return
+        if tel is not None:
+            t0 = time.monotonic()
+            store.put(key, spec_of_key[key].canonical(), result)
+            tel.recorder.add("point.cache_write", t0,
+                             time.monotonic() - t0)
+        else:
+            store.put(key, spec_of_key[key].canonical(), result)
+
+    if tel is not None:
+        tel.begin(stats.points, stats.workers)
+    t_plan = time.monotonic()
     misses: List[str] = []
     for key, spec in spec_of_key.items():
         if key in resumed:
             stats.resumed_points += 1
-            finish(key, resumed[key])
+            finish(key, resumed[key], source="resumed")
             continue
         cached = store.get(key) if store is not None else None
         if cached is not None:
             stats.cache_hits += 1
-            finish(key, cached)
+            finish(key, cached, source="hit")
         else:
             misses.append(key)
     stats.cache_misses = len(misses)
@@ -608,16 +680,25 @@ def run_points(
         stats.lane_groups = len(group_keys)
         stats.lanes_packed = sum(len(g) for g in group_keys)
         stats.scalar_fallbacks = len(scalar_keys)
+    if tel is not None:
+        tel.recorder.add("sweep.plan", t_plan, time.monotonic() - t_plan,
+                         points=stats.points, misses=len(misses))
 
     def run_serially(key: str) -> None:
         t0 = time.perf_counter()
-        result = simulate_point(spec_of_key[key])
+        if wtel is not None:
+            result = simulate_point(spec_of_key[key],
+                                    recorder=wtel.recorder)
+        else:
+            result = simulate_point(spec_of_key[key])
         wall_ms = (time.perf_counter() - t0) * 1e3
         stats.busy_seconds += wall_ms / 1e3
         stats.simulated += 1
-        if store is not None:
-            store.put(key, spec_of_key[key].canonical(), result)
-        finish(key, result, wall_ms)
+        if wtel is not None:
+            wtel.point_done(wall_ms)
+        cache_put(key, result)
+        finish(key, result, wall_ms,
+               worker=wtel.pid if wtel is not None else None)
 
     def run_with_retries(key: str) -> None:
         """One point, retried with bounded exponential backoff."""
@@ -635,15 +716,18 @@ def run_points(
                     time.sleep(retry_backoff * (2 ** (attempt - 1)))
 
     def run_group_serially(keys: Sequence[str]) -> None:
-        rows = _simulate_batch_group(
-            tuple(spec_of_key[k] for k in keys), width)
-        for key, row in zip(keys, rows):
+        payload = _simulate_batch_group(
+            tuple(spec_of_key[k] for k in keys), width,
+            telemetry=tel is not None)
+        worker_pid = None
+        if tel is not None and payload["telemetry"] is not None:
+            worker_pid = payload["telemetry"]["pid"]
+            tel.absorb(payload["telemetry"])
+        for key, row in zip(keys, payload["rows"]):
             stats.simulated += 1
             stats.busy_seconds += row["wall_ms"] / 1e3
-            if store is not None:
-                store.put(key, spec_of_key[key].canonical(),
-                          row["result"])
-            finish(key, row["result"], row["wall_ms"])
+            cache_put(key, row["result"])
+            finish(key, row["result"], row["wall_ms"], worker=worker_pid)
 
     def run_group_with_fallback(keys: Sequence[str]) -> None:
         """One lane group; on any failure, unfinished lanes re-run
@@ -661,9 +745,13 @@ def run_points(
         # One task per lane group, plus the scalar keys chunked at ~4
         # chunks per worker -- load-balanced while amortising
         # pickling/IPC over several points per round-trip.
+        # Telemetry-off keeps the historical task arity so test stubs
+        # (and any external monkeypatching) see unchanged signatures.
+        want_tel = tel is not None
+        tel_args = (True,) if want_tel else ()
         tasks: List[Tuple] = [
             (_simulate_batch_group,
-             (tuple(spec_of_key[k] for k in keys), width),
+             (tuple(spec_of_key[k] for k in keys), width) + tel_args,
              tuple(keys))
             for keys in group_keys
         ]
@@ -671,7 +759,7 @@ def run_points(
             chunk_size = max(1, len(scalar_keys) // (stats.workers * 4))
             tasks.extend(
                 (_simulate_chunk,
-                 (tuple(spec_of_key[k] for k in chunk),),
+                 (tuple(spec_of_key[k] for k in chunk),) + tel_args,
                  chunk)
                 for chunk in _chunked(scalar_keys, chunk_size)
             )
@@ -684,16 +772,25 @@ def run_points(
             max_workers=min(stats.workers, len(tasks)),
             mp_context=_mp_context(),
         )
+        def submit(executor, fn, args):
+            # The submit timestamp rides along so the worker can record
+            # its queue-wait span (CLOCK_MONOTONIC is system-wide on
+            # the platforms we run on, so worker and parent share a
+            # timeline).
+            if want_tel:
+                return executor.submit(fn, *args, time.monotonic())
+            return executor.submit(fn, *args)
+
         try:
             futures = {
-                executor.submit(fn, *args): chunk
+                submit(executor, fn, args): chunk
                 for fn, args, chunk in tasks
             }
             for future in concurrent.futures.as_completed(
                     futures, timeout=deadline):
                 chunk = futures[future]
                 try:
-                    rows = future.result()
+                    payload = future.result()
                 except Exception:
                     # Worker crash (BrokenProcessPool marks every
                     # pending future too) or an in-worker exception:
@@ -703,13 +800,16 @@ def run_points(
                     stats.worker_crashes += 1
                     retry.extend(chunk)
                 else:
-                    for key, row in zip(chunk, rows):
+                    worker_pid = None
+                    if tel is not None and payload["telemetry"] is not None:
+                        worker_pid = payload["telemetry"]["pid"]
+                        tel.absorb(payload["telemetry"])
+                    for key, row in zip(chunk, payload["rows"]):
                         stats.simulated += 1
                         stats.busy_seconds += row["wall_ms"] / 1e3
-                        if store is not None:
-                            store.put(key, spec_of_key[key].canonical(),
-                                      row["result"])
-                        finish(key, row["result"], row["wall_ms"])
+                        cache_put(key, row["result"])
+                        finish(key, row["result"], row["wall_ms"],
+                               worker=worker_pid)
         except concurrent.futures.TimeoutError:
             # Deadline tripped: everything unfinished retries serially.
             stats.worker_crashes += 1
@@ -724,6 +824,7 @@ def run_points(
                 stats.retried += 1
                 run_with_retries(key)
 
+    t_dispatch = time.monotonic()
     try:
         if stats.workers <= 1 or len(misses) <= 1:
             for keys in group_keys:
@@ -739,25 +840,48 @@ def run_points(
         ckpt.discard()
 
     stats.wall_seconds = time.perf_counter() - t_start
+
     if store is not None:
         stats.cache_evictions = store.evictions
-    if metrics is not None:
-        metrics.counter("sweep.points").inc(stats.points)
-        metrics.counter("sweep.cache.hits").inc(stats.cache_hits)
-        metrics.counter("sweep.cache.misses").inc(stats.cache_misses)
-        metrics.counter("sweep.cache.evictions").inc(stats.cache_evictions)
-        metrics.counter("sweep.simulated").inc(stats.simulated)
-        metrics.counter("sweep.retried").inc(stats.retried)
-        metrics.counter("sweep.worker_crashes").inc(stats.worker_crashes)
-        metrics.counter("sweep.resumed").inc(stats.resumed_points)
-        metrics.gauge("sweep.workers").set(stats.workers)
-        metrics.gauge("sweep.utilization").set(stats.utilization)
-        metrics.gauge("sweep.points_per_sec").set(stats.points_per_sec)
+
+    def mirror_stats(reg) -> None:
+        """The sweep.* metric surface, identical on the session registry
+        and the telemetry plane's merged registry."""
+        reg.counter("sweep.points").inc(stats.points)
+        reg.counter("sweep.cache.hits").inc(stats.cache_hits)
+        reg.counter("sweep.cache.misses").inc(stats.cache_misses)
+        reg.counter("sweep.cache.evictions").inc(stats.cache_evictions)
+        reg.counter("sweep.simulated").inc(stats.simulated)
+        reg.counter("sweep.retried").inc(stats.retried)
+        reg.counter("sweep.worker_crashes").inc(stats.worker_crashes)
+        reg.counter("sweep.resumed").inc(stats.resumed_points)
+        reg.gauge("sweep.workers").set(stats.workers)
+        reg.gauge("sweep.utilization").set(stats.utilization)
+        reg.gauge("sweep.points_per_sec").set(stats.points_per_sec)
         if backend == "batch":
-            metrics.counter("sweep.backend.lanes").inc(stats.lanes_packed)
-            metrics.counter("sweep.backend.groups").inc(stats.lane_groups)
-            metrics.counter("sweep.backend.scalar_fallback").inc(
+            reg.counter("sweep.backend.lanes").inc(stats.lanes_packed)
+            reg.counter("sweep.backend.groups").inc(stats.lane_groups)
+            reg.counter("sweep.backend.scalar_fallback").inc(
                 stats.scalar_fallbacks)
             for keys in group_keys:
-                metrics.histogram("sweep.backend.width").observe(len(keys))
+                reg.histogram("sweep.backend.width").observe(len(keys))
+
+    if metrics is not None:
+        mirror_stats(metrics)
+    if tel is not None:
+        tel.recorder.add("sweep.dispatch", t_dispatch,
+                         time.monotonic() - t_dispatch,
+                         simulated=stats.simulated)
+        # The parent acted as a worker on the serial and retry paths;
+        # only absorb its bundle if it actually recorded something.
+        if wtel is not None and (len(wtel.recorder) or len(wtel.registry)):
+            tel.absorb(wtel.export())
+        if metrics is not tel.registry:
+            mirror_stats(tel.registry)
+        active = tel.registry.labeled_gauge("sweep.workers.active")
+        for pid in tel.workers():
+            active.set(1, label=f"w{pid}")
+        tel.recorder.add("sweep.run", t_mono, stats.wall_seconds,
+                         points=stats.points, backend=backend)
+        tel.finish()
     return results

@@ -77,6 +77,13 @@ BATCH_BENCH_WIDTHS: Tuple[int, ...] = (4, 8, 16)
 BATCH_SWEEP_FLOOR = 0.7
 BATCH_TARGET_SPEEDUP = 3.0
 
+#: telemetry-overhead benchmark: the pure-reader target is <= 3%
+#: points/sec overhead with full span/metric recording on.  The CI
+#: regression gate allows a looser ceiling so one noisy run does not
+#: flake the build; the measured number is recorded either way.
+TELEMETRY_OVERHEAD_TARGET = 0.03
+TELEMETRY_OVERHEAD_CEILING = 0.10
+
 
 class PhasedBurstStream(AccessStream):
     """Deterministic burst/compute-phase stream for the perf harness.
@@ -238,6 +245,7 @@ def run_perf(cycles: int = 30_000, warmup: int = 2_000, seed: int = 1,
         report["sweep_throughput"] = run_sweep_throughput(
             seed=seed, backend=backend)
         report["batch_throughput"] = run_batch_sweep_throughput(seed=seed)
+        report["telemetry_overhead"] = run_telemetry_overhead(seed=seed)
     return report
 
 
@@ -269,13 +277,16 @@ def run_sweep_throughput(cycles: int = 1200, warmup: int = 400,
     with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
         serial_stats = SweepRunStats()
         serial = run_sweep(grid, workers=1, cache=False,
-                           stats=serial_stats, backend=backend)
+                           stats=serial_stats, backend=backend,
+                           ledger=False)
         cold_stats = SweepRunStats()
         cold = run_sweep(grid, workers=workers, cache=True,
-                         cache_dir=tmp, stats=cold_stats, backend=backend)
+                         cache_dir=tmp, stats=cold_stats, backend=backend,
+                         ledger=False)
         warm_stats = SweepRunStats()
         warm = run_sweep(grid, workers=workers, cache=True,
-                         cache_dir=tmp, stats=warm_stats, backend=backend)
+                         cache_dir=tmp, stats=warm_stats, backend=backend,
+                         ledger=False)
 
     identical = (
         serial.fingerprint() == cold.fingerprint() == warm.fingerprint()
@@ -344,7 +355,8 @@ def run_batch_sweep_throughput(cycles: int = 1200, warmup: int = 400,
         for _ in range(repeats):
             stats = SweepRunStats()
             sweep = run_sweep(grid, workers=1, cache=False, stats=stats,
-                              backend=backend, batch_width=width)
+                              backend=backend, batch_width=width,
+                              ledger=False)
             fingerprint = sweep.fingerprint()
             if (best_stats is None
                     or stats.wall_seconds < best_stats.wall_seconds):
@@ -384,6 +396,71 @@ def run_batch_sweep_throughput(cycles: int = 1200, warmup: int = 400,
         "target_speedup": BATCH_TARGET_SPEEDUP,
         "meets_target": best["speedup"] >= BATCH_TARGET_SPEEDUP,
         "fingerprint": serial_fp[:16],
+    }
+
+
+def run_telemetry_overhead(cycles: int = 1200, warmup: int = 400,
+                           seed: int = 1, repeats: int = 2) -> Dict:
+    """Measure the cost of the sweep telemetry plane.
+
+    Runs the sweep-throughput grid serially (``workers=1`` isolates the
+    recording cost from pool scheduling noise) with telemetry off and
+    with a full :class:`~repro.obs.telemetry.SweepTelemetry` attached
+    (spans, merged metrics -- no progress renderer, which is I/O-bound
+    and opt-in), best of ``repeats`` each.  The two runs must be
+    fingerprint-identical -- telemetry is a pure reader -- and the
+    overhead target is :data:`TELEMETRY_OVERHEAD_TARGET`.
+    """
+    from repro.obs.telemetry import SweepTelemetry
+    from repro.sim.parallel import SweepRunStats
+    from repro.sim.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        apps=SWEEP_BENCH_APPS, schemes=SWEEP_BENCH_SCHEMES,
+        cycles=cycles, warmup=warmup, seed=seed,
+        overrides=dict(SWEEP_BENCH_OVERRIDES),
+    )
+
+    def one_run(with_telemetry: bool):
+        stats = SweepRunStats()
+        tel = SweepTelemetry() if with_telemetry else None
+        sweep = run_sweep(grid, workers=1, cache=False, stats=stats,
+                          telemetry=tel, ledger=False)
+        spans = len(tel.spans()) if tel is not None else 0
+        return stats, sweep.fingerprint(), spans
+
+    # Interleave off/on across repeats (as run_perf does) so transient
+    # host load lands on both sides of the comparison; keep the best.
+    off_stats = on_stats = None
+    off_fp = on_fp = None
+    spans = 0
+    for _ in range(repeats):
+        stats, off_fp, _ = one_run(False)
+        if off_stats is None or stats.wall_seconds < off_stats.wall_seconds:
+            off_stats = stats
+        stats, on_fp, run_spans = one_run(True)
+        if on_stats is None or stats.wall_seconds < on_stats.wall_seconds:
+            on_stats = stats
+            spans = run_spans
+    off_pps = off_stats.points_per_sec
+    on_pps = on_stats.points_per_sec
+    overhead = (off_pps / on_pps - 1.0) if on_pps else 0.0
+    return {
+        "benchmark": "telemetry-overhead",
+        "apps": list(SWEEP_BENCH_APPS),
+        "schemes": [s.value for s in SWEEP_BENCH_SCHEMES],
+        "points": off_stats.points,
+        "cycles": cycles,
+        "warmup": warmup,
+        "seed": seed,
+        "spans_recorded": spans,
+        "off_points_per_sec": round(off_pps, 2),
+        "on_points_per_sec": round(on_pps, 2),
+        "overhead": round(overhead, 4),
+        "target": TELEMETRY_OVERHEAD_TARGET,
+        "meets_target": overhead <= TELEMETRY_OVERHEAD_TARGET,
+        "identical_results": off_fp == on_fp,
+        "fingerprint": off_fp[:16],
     }
 
 
@@ -528,6 +605,22 @@ def check_regression(current: Dict, baseline: Dict,
                 f"{batch.get('best_speedup', 0.0):.2f}x fell below the "
                 f"{BATCH_SWEEP_FLOOR:.1f}x floor"
             )
+    tel = current.get("telemetry_overhead")
+    if tel is not None:
+        # The pure-reader identity is absolute; the overhead gate uses
+        # the loose ceiling (same-host ratio, so it transfers), with
+        # the 3% target recorded in the report itself.
+        if not tel.get("identical_results"):
+            failures.append(
+                "telemetry-overhead: telemetry-on fingerprint drifted "
+                "from telemetry-off"
+            )
+        if tel.get("overhead", 0.0) > TELEMETRY_OVERHEAD_CEILING:
+            failures.append(
+                f"telemetry-overhead: {tel.get('overhead', 0.0):.1%} "
+                f"overhead exceeded the "
+                f"{TELEMETRY_OVERHEAD_CEILING:.0%} ceiling"
+            )
     return failures
 
 
@@ -578,4 +671,14 @@ def format_report(report: Dict) -> str:
                 f"{batch['best_speedup']:.2f}x, "
                 f"identical={batch['identical_results']}"
             )
+    tel = report.get("telemetry_overhead")
+    if tel is not None:
+        lines.append(
+            f"telemetry-overhead ({tel['points']} pts, "
+            f"{tel['spans_recorded']} spans): off "
+            f"{tel['off_points_per_sec']:.2f} pts/s, on "
+            f"{tel['on_points_per_sec']:.2f} pts/s "
+            f"({tel['overhead']:+.1%}, target <= {tel['target']:.0%}), "
+            f"identical={tel['identical_results']}"
+        )
     return "\n".join(lines)

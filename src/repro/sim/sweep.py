@@ -156,7 +156,10 @@ def run_sweep(grid: SweepGrid,
               max_retries: int = 2,
               retry_backoff: float = 0.25,
               backend: str = "scalar",
-              batch_width: Optional[int] = None) -> SweepResults:
+              batch_width: Optional[int] = None,
+              telemetry=None,
+              ledger: Optional[bool] = None,
+              ledger_path: Optional[str] = None) -> SweepResults:
     """Execute every grid point and collect summaries.
 
     ``workers=1`` (the default) runs in-process, serially; ``workers=N``
@@ -173,6 +176,14 @@ def run_sweep(grid: SweepGrid,
     lane packing are recorded in ``SweepResults.meta``.  The resulting
     ``SweepResults.data`` -- and hence the fingerprint -- is identical
     in all modes, across worker counts, cache states and backends.
+
+    ``telemetry`` accepts a
+    :class:`~repro.obs.telemetry.SweepTelemetry`; when given, spans and
+    merged worker metrics land in ``SweepResults.meta["telemetry"]``
+    (informational only -- the fingerprint hashes ``data`` alone).
+    Every completed sweep appends one record to the persistent run
+    ledger unless ``ledger=False`` or the ``REPRO_LEDGER=0`` env kill
+    switch is set; ``ledger_path`` overrides the default location.
     """
     specs = grid.point_specs()
     run_stats = stats if stats is not None else SweepRunStats()
@@ -183,6 +194,7 @@ def run_sweep(grid: SweepGrid,
         checkpoint=checkpoint, checkpoint_every=checkpoint_every,
         max_retries=max_retries, retry_backoff=retry_backoff,
         backend=backend, batch_width=batch_width,
+        telemetry=telemetry,
     )
     data: Dict[str, Dict[str, dict]] = {}
     for spec in specs:
@@ -196,4 +208,20 @@ def run_sweep(grid: SweepGrid,
             lanes_packed=run_stats.lanes_packed,
             scalar_fallbacks=run_stats.scalar_fallbacks,
         )
-    return SweepResults(grid.spec_dict(), data, meta=meta)
+    if telemetry is not None:
+        meta["telemetry"] = telemetry.as_meta()
+    results = SweepResults(grid.spec_dict(), data, meta=meta)
+
+    from repro.obs.ledger import (
+        RunLedger, build_record, ledger_enabled,
+    )
+    if ledger is not False and ledger_enabled():
+        try:
+            record = build_record(grid.spec_dict(), results.fingerprint(),
+                                  run_stats, telemetry=telemetry)
+            RunLedger(path=ledger_path).append(record)
+        except OSError:
+            # The ledger is an observability surface; a full disk or an
+            # unwritable cache dir must never fail the sweep itself.
+            pass
+    return results

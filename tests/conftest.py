@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.config import Scheme, SystemConfig, make_config
+
+# Hermetic tests: never let an in-test run_sweep append to the user's
+# real run ledger.  Tests that exercise the ledger point it at a tmp
+# path explicitly (and flip this env back on where needed).
+os.environ.setdefault("REPRO_LEDGER", "0")
 
 
 def small_config(scheme: Scheme = Scheme.STTRAM_4TSB_WB,

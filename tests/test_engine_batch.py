@@ -229,10 +229,12 @@ class TestBatchIdentity:
 
 @needs_numpy
 class TestSweepIntegration:
-    def test_batch_group_rows_pickle(self):
+    def test_batch_group_payload_pickles(self):
         grid = tiny_grid()
-        rows = _simulate_batch_group(grid.point_specs(), 8)
-        assert pickle.loads(pickle.dumps(rows)) == rows
+        payload = _simulate_batch_group(grid.point_specs(), 8)
+        assert pickle.loads(pickle.dumps(payload)) == payload
+        assert payload["telemetry"] is None
+        rows = payload["rows"]
         assert all({"result", "wall_ms"} <= set(r) for r in rows)
 
     def test_pool_batch_matches_serial_scalar(self):
