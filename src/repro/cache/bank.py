@@ -119,6 +119,12 @@ class BankController:
         #: queued work: (kind, payload, arrival_cycle)
         self.queue: deque = deque()
         self.queue_limit = config.bank_queue_entries
+        #: kernel-mode dequeue hook (see repro.engine.kernels): invoked
+        #: with ``now`` whenever the interface queue pops, because queue
+        #: space is the ejection flow-control predicate and a blocked
+        #: router sleeping on its wake hint must be re-armed for the
+        #: cycle after space appears.  None outside kernel mode.
+        self.kern_wake = None
         self.busy_until = 0
         self._current_op: Optional[Tuple] = None
         self.stats = BankStats()
@@ -216,6 +222,9 @@ class BankController:
         queue = self.queue
         if queue:
             kind, payload, arrival = queue.popleft()
+            kw = self.kern_wake
+            if kw is not None:
+                kw(now)
             stats = self.stats
             stats.queue_wait_sum += now - arrival
             stats.queue_wait_samples += 1

@@ -120,7 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default="scalar",
                         help="execution backend for the sweep-throughput "
                              "benchmark ('batch' needs the repro[batch] "
-                             "extra)")
+                             "extra); with --profile, 'batch' profiles "
+                             "the vectorized kernel path instead of one "
+                             "scalar simulation")
+    perf_p.add_argument("--strict-backend", action="store_true",
+                        help="exit 2 when the batch-throughput section "
+                             "was skipped or any measured width packed "
+                             "zero lane groups (i.e. every point "
+                             "silently fell back to the scalar engine)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run an apps x schemes grid (parallel + cached)")
@@ -192,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None, metavar="B",
                          help="max lanes per batch group "
                               "(default: engine default)")
+    sweep_p.add_argument("--strict-backend", action="store_true",
+                         help="exit 2 when --backend batch packed zero "
+                              "lane groups (every simulated point "
+                              "silently fell back to the scalar "
+                              "engine); cache-only replays are exempt")
     _add_common(sweep_p)
 
     chaos_p = sub.add_parser(
@@ -359,13 +371,19 @@ def _cmd_perf(args) -> int:
     from repro.sim import perf as perf_mod
 
     if args.profile:
-        kwargs = dict(seed=args.seed, scheduler=args.scheduler,
-                      top=args.top)
+        if args.backend == "batch":
+            kwargs = dict(seed=args.seed, top=args.top)
+        else:
+            kwargs = dict(seed=args.seed, scheduler=args.scheduler,
+                          top=args.top)
         for name in ("cycles", "warmup"):
             value = getattr(args, name)
             if value is not None:
                 kwargs[name] = value
-        report = perf_mod.run_profile(**kwargs)
+        if args.backend == "batch":
+            report = perf_mod.run_batch_profile(**kwargs)
+        else:
+            report = perf_mod.run_profile(**kwargs)
         print(perf_mod.format_profile(report))
         out = args.profile_out or args.out
         if out:
@@ -387,6 +405,17 @@ def _cmd_perf(args) -> int:
     if args.out:
         perf_mod.write_report(report, args.out)
         print(f"wrote {args.out}")
+    if args.strict_backend:
+        batch = report.get("batch_throughput", {})
+        starved = [row["width"] for row in batch.get("widths", ())
+                   if row["lane_groups"] == 0]
+        if "skipped" in batch or starved:
+            reason = batch.get("skipped") or (
+                f"width(s) {starved} packed zero lane groups")
+            print(f"STRICT BACKEND: batch-sweep-throughput fell back "
+                  f"to scalar -- {reason}", file=sys.stderr)
+            return 2
+        print("strict backend: every measured width ran lane groups")
     if args.baseline:
         try:
             with open(args.baseline) as fh:
@@ -466,7 +495,9 @@ def _cmd_sweep(args) -> int:
         print(
             f"batch lanes: {stats.lanes_packed} packed in "
             f"{stats.lane_groups} groups, "
-            f"{stats.scalar_fallbacks} scalar fallbacks"
+            f"{stats.scalar_fallbacks} scalar fallbacks "
+            f"(packing deltas: {stats.pack_groups_delta:+d} groups, "
+            f"{stats.pack_fallbacks_delta:+d} fallbacks vs naive)"
         )
     if telemetry is not None:
         rollups = telemetry.rollups()
@@ -482,6 +513,19 @@ def _cmd_sweep(args) -> int:
     if args.out:
         sweep.save(args.out)
         print(f"wrote {args.out}")
+    if (args.strict_backend and args.backend == "batch"
+            and stats.simulated > 0 and stats.lane_groups == 0):
+        # Zero groups means the requested backend never actually ran:
+        # every simulated point silently fell back to the scalar
+        # engine.  Cache-only replays (simulated == 0) are exempt --
+        # there was nothing to pack.
+        print(
+            "STRICT BACKEND: --backend batch packed zero lane groups "
+            f"({stats.scalar_fallbacks} scalar fallbacks) -- every "
+            "simulated point ran on the scalar engine",
+            file=sys.stderr,
+        )
+        return 2
     if args.expect_min_hits is not None:
         if stats.hit_rate < args.expect_min_hits:
             print(

@@ -48,6 +48,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatching
 import repro.noc.packet as _packet_mod
 from repro.errors import BackendUnavailableError, ConfigError
 from repro.engine.base import ExecutionEngine, ScalarEngine
+from repro.engine.kernels import attach_group
 from repro.engine.spec import EngineSpec
 from repro.engine.tape import TapePool
 
@@ -97,16 +98,31 @@ class _LaneScope:
 
 
 def pack_lanes(specs: Sequence[EngineSpec], max_width: int,
+               deltas: Optional[Dict] = None,
                ) -> Tuple[List[List[int]], List[int]]:
     """Partition spec indices into lane groups and scalar fallbacks.
 
     Specs sharing a :meth:`~repro.engine.spec.EngineSpec.lane_signature`
-    are grouped in first-appearance order and split into chunks of at
-    most ``max_width`` lanes.  Chunks of a single lane gain nothing
-    from the batch machinery and fall back to the scalar engine --
-    which is also where every point of a fully incompatible (mixed)
-    grid lands.  Returns ``(groups, fallbacks)`` of indices into
-    ``specs``; together they cover every index exactly once.
+    are bucketed, each bucket is sorted by
+    :meth:`~repro.engine.spec.EngineSpec.cycle_budget` (ties broken by
+    input order, so packing is deterministic), and split into
+    ``ceil(n / max_width)`` near-equal chunks.  Near-equal chunking
+    avoids the width waste of cutting at ``max_width`` in input order
+    -- 4 compatible specs at width 3 pack as two pairs instead of a
+    triple plus a scalar-fallback singleton -- and the budget sort
+    keeps similarly-sized runs together so a short lane is not pinned
+    to a group that keeps running long after it finished.  Chunks of a
+    single lane gain nothing from the batch machinery and fall back to
+    the scalar engine -- which is also where every point of a fully
+    incompatible (mixed) grid lands.  Returns ``(groups, fallbacks)``
+    of indices into ``specs``; together they cover every index exactly
+    once.
+
+    When ``deltas`` is given, it is filled with how this packing
+    compares to naive input-order ``max_width`` chunking:
+    ``{"pack_groups_delta": ..., "pack_fallbacks_delta": ...}``
+    (balanced minus naive; a negative fallback delta means lanes were
+    rescued from the scalar path).
     """
     if max_width < 1:
         raise ConfigError(f"batch width must be >= 1, got {max_width}")
@@ -115,13 +131,34 @@ def pack_lanes(specs: Sequence[EngineSpec], max_width: int,
         buckets.setdefault(spec.lane_signature(), []).append(i)
     groups: List[List[int]] = []
     fallbacks: List[int] = []
+    naive_groups = 0
+    naive_fallbacks = 0
     for indices in buckets.values():
-        for at in range(0, len(indices), max_width):
-            chunk = indices[at:at + max_width]
+        n = len(indices)
+        if max_width == 1:
+            naive_fallbacks += n
+        else:
+            naive_groups += n // max_width + (
+                1 if n % max_width >= 2 else 0)
+            naive_fallbacks += 1 if n % max_width == 1 else 0
+        if n < 2:
+            fallbacks.extend(indices)
+            continue
+        order = sorted(indices, key=lambda i: (specs[i].cycle_budget(), i))
+        n_chunks = -(-n // max_width)
+        base, extra = divmod(n, n_chunks)
+        at = 0
+        for c in range(n_chunks):
+            size = base + (1 if c < extra else 0)
+            chunk = order[at:at + size]
+            at += size
             if len(chunk) >= 2:
                 groups.append(chunk)
             else:
                 fallbacks.extend(chunk)
+    if deltas is not None:
+        deltas["pack_groups_delta"] = len(groups) - naive_groups
+        deltas["pack_fallbacks_delta"] = len(fallbacks) - naive_fallbacks
     return groups, fallbacks
 
 
@@ -140,6 +177,12 @@ class BatchEngineStats:
     #: master synthetic streams generated vs readers handed out
     tapes_created: int = 0
     tape_streams_served: int = 0
+    #: lanes that attached a vectorized kernel (repro.engine.kernels)
+    kernel_lanes: int = 0
+    #: balanced packing vs naive input-order chunking (see pack_lanes);
+    #: a negative fallback delta means lanes rescued from scalar
+    pack_groups_delta: int = 0
+    pack_fallbacks_delta: int = 0
 
     def as_dict(self) -> Dict:
         return {
@@ -149,6 +192,9 @@ class BatchEngineStats:
             "widths": list(self.widths),
             "tapes_created": self.tapes_created,
             "tape_streams_served": self.tape_streams_served,
+            "kernel_lanes": self.kernel_lanes,
+            "pack_groups_delta": self.pack_groups_delta,
+            "pack_fallbacks_delta": self.pack_fallbacks_delta,
         }
 
 
@@ -198,7 +244,11 @@ class BatchEngine(ExecutionEngine):
                   done: Optional[Callable[[int, Dict], None]] = None,
                   ) -> List[Dict]:
         out: List[Optional[Dict]] = [None] * len(specs)
-        groups, fallbacks = pack_lanes(specs, self.max_width)
+        deltas: Dict = {}
+        groups, fallbacks = pack_lanes(specs, self.max_width,
+                                       deltas=deltas)
+        self.stats.pack_groups_delta += deltas["pack_groups_delta"]
+        self.stats.pack_fallbacks_delta += deltas["pack_fallbacks_delta"]
         for group in groups:
             results = self.run_group([specs[i] for i in group])
             for i, result in zip(group, results):
@@ -218,9 +268,11 @@ class BatchEngine(ExecutionEngine):
     def run_group(self, specs: Sequence[EngineSpec]) -> List[Dict]:
         """Run one compatible lane group in lockstep; summaries in order.
 
-        Every spec must share one lane signature (same topology and
-        measurement window); callers normally get groups from
-        :func:`pack_lanes`, which guarantees that.
+        Every spec must share one lane signature (same topology);
+        callers normally get groups from :func:`pack_lanes`, which
+        guarantees that.  Warm-up and measurement windows may differ
+        per lane: each phase advances every lane to its own budget, and
+        a lane that arrives early simply waits at the phase barrier.
         """
         signatures = {spec.lane_signature() for spec in specs}
         if len(signatures) != 1:
@@ -247,11 +299,12 @@ class BatchEngine(ExecutionEngine):
             lanes = [
                 self._build_lane(spec, tape_pool) for spec in specs
             ]
+            kernels = attach_group([sim for sim, _scope in lanes])
+            self.stats.kernel_lanes += sum(
+                1 for k in kernels if k is not None)
             mark("batch.lane_build", t0)
-            warmup = specs[0].warmup
-            cycles = specs[0].cycles
             t0 = time.monotonic()
-            self._run_phase(lanes, warmup)
+            self._run_phase(lanes, [spec.warmup for spec in specs])
             snapshots = []
             for sim, scope in lanes:
                 with scope:
@@ -261,7 +314,7 @@ class BatchEngine(ExecutionEngine):
                 snapshots.append((start_cycle, committed))
             mark("batch.warmup", t0)
             t0 = time.monotonic()
-            self._run_phase(lanes, cycles)
+            self._run_phase(lanes, [spec.cycles for spec in specs])
             mark("batch.measure", t0)
             t0 = time.monotonic()
             out = []
@@ -303,20 +356,27 @@ class BatchEngine(ExecutionEngine):
     # Lockstep driver
     # ------------------------------------------------------------------
 
-    def _run_phase(self, lanes, n_cycles: int) -> None:
-        """Advance every lane ``n_cycles`` simulated cycles, lockstep.
+    def _run_phase(self, lanes, n_cycles) -> None:
+        """Advance each lane its own phase budget, lockstep.
 
-        Mirrors ``CMPSimulator._run_event`` phase semantics exactly: a
-        non-positive phase is a no-op (no boundary flush), otherwise
-        every lane's lazily-deferred counters are flushed at the phase
-        boundary, after the whole group arrives.
+        ``n_cycles`` is one budget per lane (an int applies to all).
+        Mirrors ``CMPSimulator._run_event`` phase semantics exactly,
+        per lane: a non-positive phase is a no-op for that lane (no
+        boundary flush), otherwise the lane's lazily-deferred counters
+        are flushed at the phase boundary, after the whole group
+        arrives.
         """
-        if n_cycles <= 0:
-            return
         n_lanes = len(lanes)
+        if isinstance(n_cycles, int):
+            per_lane = [n_cycles] * n_lanes
+        else:
+            per_lane = list(n_cycles)
+        if all(n <= 0 for n in per_lane):
+            return
         # SoA lane state: one (B,) array per field, mask-selected.
         limits = np.fromiter(
-            (sim.cycle + n_cycles for sim, _scope in lanes),
+            (sim.cycle + n
+             for (sim, _scope), n in zip(lanes, per_lane)),
             dtype=np.int64, count=n_lanes,
         )
         cycles = np.fromiter(
@@ -325,6 +385,8 @@ class BatchEngine(ExecutionEngine):
         )
         active = cycles < limits
         budget = self.slice_cycles
+        rec = self.recorder
+        monotonic = time.monotonic
         while True:
             runnable = np.nonzero(active)[0]
             if runnable.size == 0:
@@ -332,12 +394,37 @@ class BatchEngine(ExecutionEngine):
             for i in runnable:
                 sim, scope = lanes[i]
                 limit = int(limits[i])
+                kern = getattr(sim, "_lane_kernel", None)
                 with scope:
-                    self._advance_lane(sim, limit, budget)
+                    if kern is None:
+                        self._advance_lane(sim, limit, budget)
+                    elif sim.cycle < sim.force_scalar_until:
+                        # Diverged lane: drop to the scalar machine up
+                        # to the divergence bound, then re-sync.
+                        if kern.active:
+                            kern.suspend()
+                        bound = sim.force_scalar_until
+                        if limit < bound:
+                            bound = limit
+                        t0 = monotonic()
+                        self._advance_lane(sim, bound, budget)
+                        if rec is not None:
+                            rec.add("batch.scalar_sync", t0,
+                                    monotonic() - t0, lane=int(i))
+                    else:
+                        if not kern.active:
+                            kern.resume()
+                        t0 = monotonic()
+                        self._advance_lane(sim, limit, budget)
+                        if rec is not None:
+                            rec.add("batch.kernel_step", t0,
+                                    monotonic() - t0, lane=int(i))
                 cycles[i] = sim.cycle
                 if sim.cycle >= limit:
                     active[i] = False
-        for sim, scope in lanes:
+        for (sim, scope), n in zip(lanes, per_lane):
+            if n <= 0:
+                continue  # no-op phase for this lane: no boundary flush
             with scope:
                 sim._flush_lazy()
 

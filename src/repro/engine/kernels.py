@@ -1,0 +1,356 @@
+"""Vectorized per-cycle kernels for the batch backend.
+
+The lockstep driver in :mod:`repro.engine.batch` advances each lane
+with the scalar per-cycle machine; this module hoists the hot per-lane
+state into batched ``(B, ...)`` structure-of-arrays -- one group-wide
+array per field, each lane owning a row view -- and replaces the two
+dominant per-cycle costs with vectorized/sleep-based kernels:
+
+* **Route-scan sleeping** (:meth:`repro.noc.network.Network
+  ._route_cycle_kernel`): the scalar active-set loop re-scans a router
+  every cycle while a flow-control refusal is pending, because the
+  sink predicate has no timer.  The kernel records the refusing bank
+  (``Router.kblocked``) and a private wake hint (``Router.kwake``)
+  that is *not* escalated on refusals; the due gate polls the bank's
+  queue depth -- which is the entire refusal predicate for ejection
+  flow control -- so blocked routers sleep instead of rescanning.
+* **Vectorized estimator tick** (:meth:`LaneKernel.tick`): the RCA
+  estimator's per-cycle propagation walks every router's candidate
+  queues and output links in Python.  The kernel folds the
+  incrementally-mirrored ``Router.kflits`` counters and the
+  ``(B, n_nodes, N_PORTS)`` link-busy array with numpy, reproducing
+  the scalar arithmetic operation for operation (same IEEE evaluation
+  order, see the tick body) and writing the aggregate dict back every
+  tick so estimator consumers observe identical values.
+
+Identity argument
+-----------------
+Both kernels preserve the byte-identity contract the batch backend is
+certified against:
+
+* The kernel route loop runs every scan that could change state, in
+  the same order, and assigns ``next_active`` the exact value the
+  scalar scan would -- so the simulator's cycle-skip schedule never
+  diverges.  Scans it skips are provably no-ops: parked-delay accrual
+  is gap-based (``accrue_parked``), refusals cannot flip until the
+  polled queue shrinks, and every event that could enable earlier
+  progress (an accept, an upstream VC freeing, an estimator poke)
+  lowers ``kwake`` at the same dual-write sites that lower
+  ``next_active``.
+* The vectorized tick performs the same float64 operations in the
+  same order as the scalar tick, so aggregates (and hence every
+  congestion estimate and arbitration decision) are value-identical.
+
+Divergence protocol
+-------------------
+Lanes that cannot take the common path never attach a kernel
+(:func:`lane_vectorizable` names the reason: fault plane, guard,
+observability, tracing, dense reference loop, unknown estimator, or an
+unmapped flow-control node).  A lane that must *temporarily* leave the
+common path (``sim.force_scalar_until``) is suspended -- the scalar
+machine advances it while the dual-write mirrors stay fresh -- and
+re-synchronized on resume: ``kwake`` is reloaded from the
+scalar-owned ``next_active`` (a blocked router's ``kwake`` may be
+stale-high after a scalar interlude; stale-low is always safe), the
+link-busy mirror and the aggregate row are reloaded from scalar state.
+
+numpy is optional; without it every lane reports non-vectorizable and
+the batch backend behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+from repro.core.estimators import (
+    RegionalCongestionEstimator,
+    SimplisticEstimator,
+    WindowEstimator,
+)
+from repro.noc.topology import LOCAL, N_PORTS
+
+
+def kernels_available() -> bool:
+    return np is not None
+
+
+def lane_vectorizable(sim) -> Optional[str]:
+    """Why ``sim`` must stay on the scalar machine, or None.
+
+    The checks are conservative: anything attached to the simulator
+    that observes or perturbs per-cycle execution (fault plane, guard,
+    observability, event tracing), any non-event scheduling mode, and
+    any estimator whose tick the kernel does not model keep the lane
+    scalar.  All conditions are static over a run -- resilience and
+    observability attachments happen at construction time -- so the
+    decision is made once, at lane build.
+    """
+    if np is None:
+        return "numpy unavailable"
+    if sim.scheduler != "event":
+        return "dense scheduler"
+    network = sim.network
+    if network.use_reference_loop:
+        return "reference route loop"
+    if sim.fault_plane is not None:
+        return "fault plane active"
+    if sim.guard is not None:
+        return "invariant guard attached"
+    if sim._obs is not None:
+        return "observability attached"
+    if network.trace is not None:
+        return "event tracing attached"
+    est = network.estimator
+    if est is not None and type(est) not in (
+            RegionalCongestionEstimator, SimplisticEstimator,
+            WindowEstimator):
+        return f"unknown estimator {type(est).__name__}"
+    # Every flow-controlled ejection node must map to a bank whose
+    # queue depth the blocked-port due gate can poll.
+    bank_node = sim.topo.bank_node
+    bank_nodes = {bank_node(b) for b in range(len(sim.banks))}
+    for node, flow in enumerate(network._flow_at):
+        if flow is not None and node not in bank_nodes:
+            return f"unmapped flow control at node {node}"
+    return None
+
+
+def _make_bank_wake(router, bank):
+    """Dequeue hook: re-arm a router blocked on this bank's queue.
+
+    A pop creates queue space -- the entire ejection-refusal predicate
+    -- so the blocked router can forward the cycle after.  ``kblocked``
+    is the unique token for "asleep awaiting space at this bank"; any
+    other sleeping router's bound is unaffected by a dequeue, and a
+    spurious poke would only force a no-op scan anyway (stale-low wake
+    hints are always safe).
+    """
+    def wake(now: int) -> None:
+        if router.kblocked is bank:
+            t = now + 1
+            if t < router.kwake:
+                router.kwake = t
+    return wake
+
+
+class GroupKernel:
+    """Group-wide ``(B, ...)`` arrays; lanes index rows.
+
+    Allocated once per lane group.  ``busy`` mirrors every router's
+    ``out_busy_until`` and ``agg`` holds the RCA aggregate vector; both
+    are only *used* by lanes whose estimator reads them, but rows exist
+    for every lane so indexing stays positional.
+    """
+
+    __slots__ = ("n_lanes", "n_nodes", "busy", "agg")
+
+    def __init__(self, n_lanes: int, n_nodes: int):
+        self.n_lanes = n_lanes
+        self.n_nodes = n_nodes
+        self.busy = np.zeros((n_lanes, n_nodes, N_PORTS), dtype=np.int64)
+        self.agg = np.zeros((n_lanes, n_nodes), dtype=np.float64)
+
+
+class LaneKernel:
+    """One lane's view into the group arrays plus its scalar hooks."""
+
+    __slots__ = (
+        "sim", "network", "rca", "busy", "agg", "agg_valid",
+        "neigh_idx", "deg", "_pad", "_total", "_n", "active",
+    )
+
+    def __init__(self, sim, group: GroupKernel, lane: int):
+        self.sim = sim
+        network = sim.network
+        self.network = network
+        est = network.estimator
+        self.rca = est if isinstance(est, RegionalCongestionEstimator) \
+            else None
+        n = len(network.routers)
+        self._n = n
+        #: (n_nodes, N_PORTS) int64 row: out_busy_until mirror
+        self.busy = group.busy[lane]
+        #: (n_nodes,) float64 row: RCA aggregate vector
+        self.agg = group.agg[lane]
+        self.agg_valid = False
+        self.active = False
+        if self.rca is not None:
+            # Padded neighbour-index matrix: row j holds each node's
+            # j-th neighbour (or the pad slot ``n``, which reads 0.0).
+            # Summation proceeds row by row, reproducing the scalar
+            # tick's left-to-right neighbour addition order exactly.
+            neighbors_of = network.neighbors_of
+            max_deg = max((len(x) for x in neighbors_of), default=0)
+            idx = np.full((max_deg, n), n, dtype=np.intp)
+            deg = np.ones(n, dtype=np.float64)
+            for node, neigh in enumerate(neighbors_of):
+                for j, other in enumerate(neigh):
+                    idx[j, node] = other
+                if neigh:
+                    deg[node] = float(len(neigh))
+            self.neigh_idx = idx
+            self.deg = deg
+            self._pad = np.zeros(n + 1, dtype=np.float64)
+            self._total = np.zeros(n, dtype=np.float64)
+        else:
+            self.neigh_idx = None
+            self.deg = None
+            self._pad = None
+            self._total = None
+
+    # ------------------------------------------------------------------
+    # Attach / suspend / resume
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install the kernel on the lane's network (initial sync)."""
+        network = self.network
+        sim = self.sim
+        bank_at: List = [None] * self._n
+        routers = network.routers
+        for b, bank in enumerate(sim.banks):
+            node = sim.topo.bank_node(b)
+            bank_at[node] = bank
+            bank.kern_wake = _make_bank_wake(routers[node], bank)
+        network._bank_at = bank_at
+        if self.rca is not None:
+            network._kbusy = self.busy
+        sim._lane_kernel = self
+        self.resume()
+
+    def suspend(self) -> None:
+        """Drop to the scalar machine; mirrors keep updating (the
+        dual-write sites are unconditional), so resume is cheap."""
+        self.network._kern = None
+        self.active = False
+
+    def resume(self) -> None:
+        """Re-synchronize from scalar-owned state and re-install.
+
+        ``kwake`` is reloaded from ``next_active`` for every active
+        router: after a scalar interlude a blocked router holds
+        ``next_active = now + 1`` while its ``kwake`` may be stale-high
+        with ``kblocked`` cleared -- the due gate would sleep through
+        real work.  A stale-low ``kwake`` is always safe (a spurious
+        scan is a no-op), so resync never needs to raise hints.
+        """
+        network = self.network
+        routers = network.routers
+        for node in network._active_routers:
+            router = routers[node]
+            router.kwake = router.next_active
+            router.kblocked = None
+        rca = self.rca
+        if rca is not None:
+            busy = self.busy
+            for node, router in enumerate(routers):
+                busy[node, :] = router.out_busy_until
+                router.kflits = router.queued_flits()
+            agg_dict = rca.agg
+            if agg_dict:
+                get = agg_dict.get
+                agg = self.agg
+                for i in range(self._n):
+                    agg[i] = get(i, 0.0)
+                self.agg_valid = True
+            else:
+                self.agg_valid = False
+        network._kern = self
+        self.active = True
+
+    # ------------------------------------------------------------------
+    # Vectorized estimator tick
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Estimator tick under kernel mode.
+
+        RCA lanes run the vectorized propagation below; any other
+        estimator with a tick period falls through to its scalar tick.
+        The arithmetic mirrors
+        :meth:`~repro.core.estimators.RegionalCongestionEstimator.tick`
+        operation for operation: int local values, float64
+        ``0.5 * local + 0.5 * downstream`` with neighbour addition in
+        ``neighbors_of`` order, clamped to the 8-bit ceiling -- so the
+        aggregates consumed by ``congestion_estimate`` (and therefore
+        every arbitration decision) are value-identical.
+        """
+        est = self.rca
+        if est is None:
+            self.network.estimator.tick(now)
+            return
+        if now % est.update_period:
+            return
+        n = self._n
+        routers = self.network.routers
+        # local = min(255, queued_flits + max_output_residual)
+        local = np.fromiter(
+            (r.kflits for r in routers), dtype=np.int64, count=n)
+        residual = self.busy[:, :LOCAL].max(axis=1)
+        residual -= now
+        np.maximum(residual, 0, out=residual)
+        local += residual
+        np.minimum(local, est.max_value, out=local)
+        local_f = local.astype(np.float64)
+        pad = self._pad
+        if self.agg_valid:
+            pad[:n] = self.agg
+        else:
+            # First tick: the scalar code seeds prev from this tick's
+            # local values.
+            pad[:n] = local_f
+        pad[n] = 0.0
+        total = self._total
+        rows = pad[self.neigh_idx]
+        nrows = len(rows)
+        if nrows:
+            # One gather, then sequential row adds: reproduces the
+            # scalar tick's left-to-right neighbour addition order by
+            # construction (no reliance on reduce internals).
+            total[:] = rows[0]
+            for j in range(1, nrows):
+                total += rows[j]
+        else:
+            total[:] = 0.0
+        downstream = total / self.deg
+        agg = self.agg
+        np.multiply(local_f, 0.5, out=agg)
+        downstream *= 0.5
+        agg += downstream
+        np.minimum(agg, float(est.max_value), out=agg)
+        self.agg_valid = True
+        # Consumers (congestion_estimate, tests) read the dict; publish
+        # every tick.  Replacing the dict is fine -- nothing caches a
+        # reference across calls -- and the scalar tick keeps working
+        # on the replacement during suspend windows.
+        est.agg = dict(enumerate(agg.tolist()))
+
+
+def attach_group(sims) -> List[Optional["LaneKernel"]]:
+    """Build group arrays and attach kernels to the eligible lanes.
+
+    Returns one entry per lane: the attached :class:`LaneKernel`, or
+    None for lanes that stay scalar (reason from
+    :func:`lane_vectorizable`).
+    """
+    if np is None:
+        return [None] * len(sims)
+    reasons = [lane_vectorizable(sim) for sim in sims]
+    if all(reason is not None for reason in reasons):
+        return [None] * len(sims)
+    n_nodes = max(len(sim.network.routers) for sim in sims)
+    group = GroupKernel(len(sims), n_nodes)
+    kernels: List[Optional[LaneKernel]] = []
+    for lane, (sim, reason) in enumerate(zip(sims, reasons)):
+        if reason is None:
+            kernel = LaneKernel(sim, group, lane)
+            kernel.attach()
+            kernels.append(kernel)
+        else:
+            kernels.append(None)
+    return kernels

@@ -83,13 +83,19 @@ class EngineSpec:
     def lane_signature(self) -> Tuple:
         """Key under which specs may share one lockstep lane group.
 
-        Lanes of one group advance through the same warm-up and
-        measurement phases cycle for cycle, and future vectorized
-        kernels index ``(B, node, port, vc)`` arrays, so the topology
-        and the measurement window must match; scheme, application and
-        seed are free to differ per lane.
+        The group kernels index ``(B, node, port, vc)`` arrays, so the
+        topology must match across lanes; scheme, application, seed and
+        the measurement window are free to differ per lane (the
+        lockstep driver advances every lane to its own per-phase
+        budget, so a short run no longer needs its own group).
         """
-        return (self.mesh_width(), self.cycles, self.warmup)
+        return (self.mesh_width(),)
+
+    def cycle_budget(self) -> int:
+        """Total simulated cycles (warm-up plus measurement): the lane
+        packer's sort key, so similarly-sized runs share a group and a
+        short lane does not pin a group open behind a long one."""
+        return self.warmup + self.cycles
 
     def label(self) -> str:
         return f"{self.app}/{self.scheme.value}/seed{self.seed}"

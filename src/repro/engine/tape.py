@@ -107,10 +107,11 @@ class TapeStream(AccessStream):
     at its own position.
     """
 
-    __slots__ = ("_tape", "_pos")
+    __slots__ = ("_tape", "_log", "_pos")
 
     def __init__(self, tape: StreamTape):
         self._tape = tape
+        self._log = tape.log
         self._pos = 0
 
     def _event(self, tag: str):
@@ -119,6 +120,16 @@ class TapeStream(AccessStream):
         return value
 
     def next_access(self):
+        # Replay is the overwhelmingly common case once any sibling
+        # lane has advanced past this position: serve it without the
+        # dispatch through StreamTape.event.
+        pos = self._pos
+        log = self._log
+        if pos < len(log):
+            tag, value = log[pos]
+            if tag is TAG_NEXT:
+                self._pos = pos + 1
+                return value
         return self._event(TAG_NEXT)
 
     def prewarm_blocks(self):

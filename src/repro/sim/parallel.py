@@ -461,6 +461,10 @@ class SweepRunStats:
     lane_groups: int = 0
     lanes_packed: int = 0
     scalar_fallbacks: int = 0
+    #: balanced packing vs naive input-order chunking (negative
+    #: fallback delta = lanes rescued from the scalar path)
+    pack_groups_delta: int = 0
+    pack_fallbacks_delta: int = 0
 
     @property
     def points_per_sec(self) -> float:
@@ -490,6 +494,8 @@ class SweepRunStats:
             "lane_groups": self.lane_groups,
             "lanes_packed": self.lanes_packed,
             "scalar_fallbacks": self.scalar_fallbacks,
+            "pack_groups_delta": self.pack_groups_delta,
+            "pack_fallbacks_delta": self.pack_fallbacks_delta,
             "workers": self.workers,
             "chunks": self.chunks,
             "wall_seconds": self.wall_seconds,
@@ -674,12 +680,16 @@ def run_points(
     scalar_keys: List[str] = list(misses)
     if backend == "batch" and misses:
         lane_specs = [EngineSpec.from_point(spec_of_key[k]) for k in misses]
-        groups, fallbacks = pack_lanes(lane_specs, width)
+        pack_report: Dict = {}
+        groups, fallbacks = pack_lanes(lane_specs, width,
+                                       deltas=pack_report)
         group_keys = [[misses[i] for i in group] for group in groups]
         scalar_keys = [misses[i] for i in fallbacks]
         stats.lane_groups = len(group_keys)
         stats.lanes_packed = sum(len(g) for g in group_keys)
         stats.scalar_fallbacks = len(scalar_keys)
+        stats.pack_groups_delta = pack_report["pack_groups_delta"]
+        stats.pack_fallbacks_delta = pack_report["pack_fallbacks_delta"]
     if tel is not None:
         tel.recorder.add("sweep.plan", t_plan, time.monotonic() - t_plan,
                          points=stats.points, misses=len(misses))

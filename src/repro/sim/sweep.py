@@ -207,6 +207,8 @@ def run_sweep(grid: SweepGrid,
             lane_groups=run_stats.lane_groups,
             lanes_packed=run_stats.lanes_packed,
             scalar_fallbacks=run_stats.scalar_fallbacks,
+            pack_groups_delta=run_stats.pack_groups_delta,
+            pack_fallbacks_delta=run_stats.pack_fallbacks_delta,
         )
     if telemetry is not None:
         meta["telemetry"] = telemetry.as_meta()

@@ -72,17 +72,22 @@ class TestEngineSpec:
         spec = EngineSpec.from_point(point)
         assert spec.to_point().key() == point.key()
 
-    def test_lane_signature_groups_topology_and_window(self):
+    def test_lane_signature_groups_topology(self):
         a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1, FAST)
         b = EngineSpec.build("mcf", Scheme.STTRAM_4TSB, 300, 100, 9, FAST)
         assert a.lane_signature() == b.lane_signature()
-        for change in (dict(cycles=301), dict(warmup=99),
-                       dict(overrides={**FAST, "mesh_width": 8})):
+        # Measurement windows no longer split groups (each lane runs to
+        # its own per-phase budget), but topology still must match.
+        for change in (dict(cycles=301), dict(warmup=99)):
             c = EngineSpec.build(
                 "tpcc", Scheme.SRAM_64TSB,
                 change.get("cycles", 300), change.get("warmup", 100), 1,
-                change.get("overrides", FAST))
-            assert a.lane_signature() != c.lane_signature()
+                FAST)
+            assert a.lane_signature() == c.lane_signature()
+            assert a.cycle_budget() != c.cycle_budget()
+        d = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1,
+                             {**FAST, "mesh_width": 8})
+        assert a.lane_signature() != d.lane_signature()
 
     def test_overrides_order_insensitive(self):
         a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1,
@@ -114,15 +119,38 @@ class TestPackLanes:
         covered = sorted(i for g in groups for i in g)
         assert covered == list(range(8))
 
-    def test_singleton_chunks_fall_back(self):
+    def test_balanced_chunks_rescue_singletons(self):
+        # 4 compatible specs at width 3: naive input-order chunking
+        # strands a scalar singleton ([3, 1]); near-equal chunking
+        # packs two pairs and the deltas record the rescue.
+        from repro.engine.batch import pack_lanes
         specs = matrix_specs()
-        groups, fallbacks = self.pack(specs, 3)
-        assert [len(g) for g in groups] == [3]
-        assert len(fallbacks) == 1
+        deltas = {}
+        groups, fallbacks = pack_lanes(specs, 3, deltas=deltas)
+        assert sorted(len(g) for g in groups) == [2, 2]
+        assert fallbacks == []
+        assert deltas == {"pack_groups_delta": 1,
+                          "pack_fallbacks_delta": -1}
 
-    def test_mixed_signatures_bucket_separately(self):
+    def test_lone_spec_falls_back(self):
+        groups, fallbacks = self.pack(matrix_specs()[:1], 3)
+        assert groups == []
+        assert fallbacks == [0]
+
+    def test_budget_sort_groups_similar_runs(self):
+        # Same topology, mixed budgets: the packer sorts by cycle
+        # budget so the two short runs share one group and the two
+        # long runs the other, whatever the input order.
         a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1, FAST)
         b = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 999, 100, 1, FAST)
+        groups, fallbacks = self.pack([a, b, a, b], 2)
+        assert fallbacks == []
+        assert sorted(sorted(g) for g in groups) == [[0, 2], [1, 3]]
+
+    def test_mixed_topologies_bucket_separately(self):
+        a = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1, FAST)
+        b = EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 300, 100, 1,
+                             {**FAST, "mesh_width": 8})
         groups, fallbacks = self.pack([a, b, a, b], 8)
         assert len(groups) == 2
         assert fallbacks == []
@@ -201,10 +229,26 @@ class TestBatchIdentity:
         engine = get_engine("batch", max_width=8, slice_cycles=7)
         assert engine.run_specs(matrix_specs()) == scalar_results
 
-    def test_mixed_grid_falls_back_to_scalar(self):
+    def test_mixed_windows_pack_identically(self):
+        # Measurement windows no longer split lane groups: the driver
+        # advances each lane to its own per-phase budget, so three runs
+        # with staggered cycle counts share one group -- and still
+        # reproduce the scalar summaries byte for byte.
         specs = [
             EngineSpec.build("x264", Scheme.SRAM_64TSB,
                              200 + 10 * i, 80, 1, FAST)
+            for i in range(3)
+        ]
+        engine = get_engine("batch")
+        results = engine.run_specs(specs)
+        assert engine.stats.scalar_fallbacks == 0
+        assert engine.stats.lane_groups == 1
+        assert results == ScalarEngine().run_specs(specs)
+
+    def test_mixed_topology_grid_falls_back_to_scalar(self):
+        specs = [
+            EngineSpec.build("x264", Scheme.SRAM_64TSB, 200, 80, 1,
+                             {**FAST, "mesh_width": 4 + 2 * i})
             for i in range(3)
         ]
         engine = get_engine("batch")

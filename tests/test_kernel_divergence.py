@@ -1,0 +1,167 @@
+"""Divergence and re-sync properties of the vectorized lockstep kernels.
+
+The batch backend's divergence protocol (see
+:mod:`repro.engine.kernels`): lanes that can never take the common
+path (e.g. a fault plane is attached) do not attach a kernel at all; a
+lane that must *temporarily* leave the common path
+(``sim.force_scalar_until``) is suspended, advanced by the scalar
+machine, and re-synchronized on resume.  These tests force both paths
+-- with randomized odd warm-ups, staggered measurement windows (early
+lane termination) and mid-run divergence bounds -- and assert the one
+property everything is certified against: the summaries stay
+byte-identical to the scalar engine, and the diverged lane actually
+re-enters the kernel (``batch.kernel_step`` spans after its last
+``batch.scalar_sync``).
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.engine.base import ScalarEngine
+from repro.engine.batch import BatchEngine
+from repro.engine.kernels import attach_group, lane_vectorizable
+from repro.engine.spec import EngineSpec
+from repro.obs.telemetry import SpanRecorder
+from repro.resilience import FaultConfig
+from repro.sim.config import Scheme, make_config
+from repro.sim.experiment import app_factory
+from repro.sim.simulator import CMPSimulator
+
+FAST = {"mesh_width": 4, "capacity_scale": 1 / 64}
+SCHEMES = (Scheme.SRAM_64TSB, Scheme.STTRAM_4TSB,
+           Scheme.STTRAM_4TSB_SS, Scheme.STTRAM_4TSB_WB)
+
+
+class DivergingEngine(BatchEngine):
+    """BatchEngine that forces one lane off the common path mid-run.
+
+    ``force_scalar_until`` is the production divergence seam; setting
+    it at lane build makes the lockstep driver suspend that lane's
+    kernel and advance it with the scalar machine until the bound,
+    then resume -- exactly what a transient divergence does.
+    """
+
+    def __init__(self, diverge_lane: int, until: int, **kwargs):
+        super().__init__(**kwargs)
+        self._diverge_lane = diverge_lane
+        self._until = until
+        self._built = 0
+
+    def _build_lane(self, spec, tape_pool):
+        sim, scope = super()._build_lane(spec, tape_pool)
+        if self._built == self._diverge_lane:
+            sim.force_scalar_until = self._until
+        self._built += 1
+        return sim, scope
+
+
+def _scalar_reference(spec, faults=None):
+    """One scalar run built exactly like a batch lane, minus the tape."""
+    from repro.sim import reset_state
+
+    reset_state()
+    config = make_config(spec.scheme, **spec.overrides_dict())
+    workload = app_factory(spec.app, seed=spec.seed)(config)
+    sim = CMPSimulator(config, workload, faults=faults)
+    return sim.run(spec.cycles, warmup=spec.warmup).to_dict()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_diverged_lane_resyncs_identically(seed):
+    rng = random.Random(seed)
+    schemes = rng.sample(SCHEMES, 3)
+    warmups = [2 * rng.randrange(30, 60) + 1 for _ in schemes]  # odd
+    cycles = [rng.randrange(180, 320),
+              rng.randrange(40, 80),  # lane 1 terminates early
+              rng.randrange(180, 320)]
+    specs = [
+        EngineSpec.build("tpcc", scheme, c, w, 1, FAST)
+        for scheme, c, w in zip(schemes, cycles, warmups)
+    ]
+    until = rng.randrange(50, 150)  # inside every lane's total budget
+
+    engine = DivergingEngine(0, until, slice_cycles=32)
+    recorder = SpanRecorder(worker=0)
+    engine.recorder = recorder
+    results = engine.run_group(list(specs))
+
+    assert results == ScalarEngine().run_specs(list(specs))
+    assert engine.stats.kernel_lanes == len(specs)
+
+    syncs = [i for i, s in enumerate(recorder.spans)
+             if s["name"] == "batch.scalar_sync"
+             and s["args"]["lane"] == 0]
+    steps = [i for i, s in enumerate(recorder.spans)
+             if s["name"] == "batch.kernel_step"
+             and s["args"]["lane"] == 0]
+    assert syncs, "diverged lane never took a scalar-sync slice"
+    assert steps, "diverged lane never took a kernel slice"
+    # Re-entry: the lane returns to the kernel after the divergence
+    # window closes, rather than staying scalar for the rest of the run.
+    assert max(steps) > max(syncs)
+
+
+def test_fault_lane_never_attaches_kernel():
+    spec = EngineSpec.build("tpcc", Scheme.STTRAM_4TSB_WB, 200, 80, 1,
+                            FAST)
+    faults = FaultConfig(seed=7, crc_rate=0.01)
+
+    def build(with_faults):
+        from repro.sim import reset_state
+
+        reset_state()
+        config = make_config(spec.scheme, **spec.overrides_dict())
+        workload = app_factory(spec.app, seed=spec.seed)(config)
+        return CMPSimulator(config, workload,
+                            faults=faults if with_faults else None)
+
+    clean, faulted = build(False), build(True)
+    assert lane_vectorizable(clean) is None
+    assert lane_vectorizable(faulted) == "fault plane active"
+    kernels = attach_group([clean, faulted])
+    assert kernels[0] is not None
+    assert kernels[1] is None
+
+
+def test_fault_lane_runs_scalar_inside_group_identically():
+    """A group mixing kernel lanes with a permanently scalar (faulted)
+    lane still reproduces each lane's scalar summary byte for byte."""
+    specs = [
+        EngineSpec.build("tpcc", Scheme.SRAM_64TSB, 250, 99, 1, FAST),
+        EngineSpec.build("tpcc", Scheme.STTRAM_4TSB_WB, 250, 99, 1,
+                         FAST),
+        EngineSpec.build("tpcc", Scheme.STTRAM_4TSB, 250, 99, 1, FAST),
+    ]
+    faults = FaultConfig(seed=7, crc_rate=0.01)
+
+    class FaultingEngine(BatchEngine):
+        def __init__(self, fault_lane, **kwargs):
+            super().__init__(**kwargs)
+            self._fault_lane = fault_lane
+            self._built = 0
+
+        def _build_lane(self, spec, tape_pool):
+            from repro.resilience import FaultPlane
+
+            sim, scope = super()._build_lane(spec, tape_pool)
+            if self._built == self._fault_lane:
+                # FaultPlane self-wires the network's link-corruption
+                # hook, exactly as CMPSimulator(faults=...) does.
+                with scope:
+                    sim.fault_plane = FaultPlane(sim, faults)
+            self._built += 1
+            return sim, scope
+
+    engine = FaultingEngine(1, slice_cycles=32)
+    results = engine.run_group(list(specs))
+    # The faulted lane never attached; the clean lanes did.
+    assert engine.stats.kernel_lanes == len(specs) - 1
+
+    expected = [
+        _scalar_reference(spec, faults=faults if i == 1 else None)
+        for i, spec in enumerate(specs)
+    ]
+    assert results == expected
