@@ -125,6 +125,11 @@ class BankController:
         #: router sleeping on its wake hint must be re-armed for the
         #: cycle after space appears.  None outside kernel mode.
         self.kern_wake = None
+        #: kernel-mode service-timer hook (see repro.engine.kernels):
+        #: invoked with the new ``busy_until`` at every write site so
+        #: the lane's ``(n_banks,)`` SoA mirror never drifts from the
+        #: scalar field.  None outside kernel mode.
+        self.kern_busy = None
         self.busy_until = 0
         self._current_op: Optional[Tuple] = None
         self.stats = BankStats()
@@ -197,6 +202,9 @@ class BankController:
         ):
             if self.write_buffer.preempt_drain() is not None:
                 self.busy_until = now
+                kb = self.kern_busy
+                if kb is not None:
+                    kb(now)
                 self._current_op = None
                 intervals = self.stats.service_intervals
                 if intervals:
@@ -235,6 +243,9 @@ class BankController:
                 self._current_op = ("drain", block, None)
                 service = self._array_write_cycles()
                 self.busy_until = now + service
+                kb = self.kern_busy
+                if kb is not None:
+                    kb(self.busy_until)
                 stats = self.stats
                 stats.busy_cycles += service
                 stats.service_intervals.append((now, now + service))
@@ -373,6 +384,9 @@ class BankController:
             raise ValueError(f"unknown bank op {kind}")
 
         self.busy_until = now + service
+        kb = self.kern_busy
+        if kb is not None:
+            kb(self.busy_until)
         stats = self.stats
         stats.busy_cycles += service
         stats.service_intervals.append((now, now + service))

@@ -9,7 +9,8 @@ requests (back-pressuring the banks' miss streams).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.cache.messages import MemMsg
 from repro.noc.packet import Packet, PacketClass
@@ -31,8 +32,14 @@ class MemoryController:
         self.max_outstanding = config.max_outstanding_memory * 4
         #: (completion_cycle, seq, msg) — reads awaiting data return
         self._pending: List[Tuple[int, int, MemMsg]] = []
-        self._waiting: List[Tuple[MemMsg, int]] = []
+        #: FIFO of not-yet-issued requests (deque: O(1) popleft)
+        self._waiting: Deque[Tuple[MemMsg, int]] = deque()
         self._next_issue = 0
+        #: batch-kernel due hint (repro.engine.kernels): earliest cycle
+        #: ``step`` could make progress, recomputed by the kernel after
+        #: every step it executes and zeroed on arrival (and on kernel
+        #: resume) -- stale-low is safe, a premature step is a no-op.
+        self.kdue = 0
         self._seq = 0
         self.reads = 0
         self.writes = 0
@@ -46,6 +53,7 @@ class MemoryController:
         msg = pkt.payload
         assert pkt.klass is PacketClass.MEMORY
         self._waiting.append((msg, now))
+        self.kdue = 0
 
     def _issue(self, msg: MemMsg, now: int) -> None:
         start = max(now, self._next_issue)
@@ -65,7 +73,7 @@ class MemoryController:
             and len(self._pending) < self.max_outstanding
             and self._next_issue <= now
         ):
-            msg, _arrival = self._waiting.pop(0)
+            msg, _arrival = self._waiting.popleft()
             self._issue(msg, now)
         while self._pending and self._pending[0][0] <= now:
             _completion, _seq, msg = heapq.heappop(self._pending)

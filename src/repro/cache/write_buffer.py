@@ -22,6 +22,9 @@ class WriteBuffer:
 
     def __init__(self, config: WriteBufferConfig):
         self.config = config
+        #: capacity, hoisted off the config: ``absorb`` is on the
+        #: per-write critical path of every buffered bank.
+        self._capacity = config.entries
         #: block -> pending-write marker (insertion ordered = drain order)
         self._entries: "OrderedDict[int, bool]" = OrderedDict()
         self.writes_absorbed = 0
@@ -39,7 +42,7 @@ class WriteBuffer:
 
     @property
     def full(self) -> bool:
-        return len(self) >= self.config.entries
+        return len(self) >= self._capacity
 
     def absorb(self, block: int) -> bool:
         """Try to complete a write into the buffer.
@@ -47,14 +50,17 @@ class WriteBuffer:
         Returns False when the buffer is full (the write must go straight
         to the slow array instead).
         """
-        if block in self._entries:
-            self._entries.move_to_end(block)
+        entries = self._entries
+        if block in entries:
+            entries.move_to_end(block)
             self.writes_absorbed += 1
             return True
-        if self.full:
+        # Inline of ``self.full`` (property + __len__ dispatch costs
+        # more than the test on this path).
+        if len(entries) + (self._draining is not None) >= self._capacity:
             self.writes_stalled += 1
             return False
-        self._entries[block] = True
+        entries[block] = True
         self.writes_absorbed += 1
         return True
 

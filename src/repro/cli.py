@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(with --profile)")
     perf_p.add_argument("--top", type=_positive_int, default=25,
                         help="hotspot rows in the profile report")
+    perf_p.add_argument("--hotspots", type=_positive_int, default=None,
+                        metavar="N",
+                        help="with --profile: also print the top-N "
+                             "by-cumulative rows as a JSON array "
+                             "(machine-readable, next to the dump)")
     perf_p.add_argument("--scheduler", choices=("dense", "event"),
                         default="event",
                         help="scheduler to profile (with --profile)")
@@ -385,6 +390,9 @@ def _cmd_perf(args) -> int:
         else:
             report = perf_mod.run_profile(**kwargs)
         print(perf_mod.format_profile(report))
+        if args.hotspots:
+            print(json.dumps(report["by_cumulative"][:args.hotspots],
+                             indent=2))
         out = args.profile_out or args.out
         if out:
             perf_mod.write_report(report, out)
@@ -410,8 +418,30 @@ def _cmd_perf(args) -> int:
         starved = [row["width"] for row in batch.get("widths", ())
                    if row["lane_groups"] == 0]
         if "skipped" in batch or starved:
-            reason = batch.get("skipped") or (
-                f"width(s) {starved} packed zero lane groups")
+            if "skipped" in batch:
+                reason = batch["skipped"]
+            else:
+                # Explain *why* with the recorded lane-signature
+                # bucket sizes: all-singleton buckets mean a fully
+                # heterogeneous grid; multi-lane buckets that still
+                # packed nothing point at the width.
+                details = []
+                for row in batch["widths"]:
+                    if row["lane_groups"]:
+                        continue
+                    buckets = row.get("signature_buckets") or []
+                    if not buckets:
+                        why = "no pack attempt recorded"
+                    elif max(buckets) < 2:
+                        why = (f"all {len(buckets)} signature buckets "
+                               "are singletons (no two points share a "
+                               "lane signature)")
+                    else:
+                        why = (f"signature buckets {buckets} yielded "
+                               "only width-1 chunks")
+                    details.append(f"width {row['width']}: {why}")
+                reason = ("zero lane groups packed -- "
+                          + "; ".join(details))
             print(f"STRICT BACKEND: batch-sweep-throughput fell back "
                   f"to scalar -- {reason}", file=sys.stderr)
             return 2
@@ -519,10 +549,21 @@ def _cmd_sweep(args) -> int:
         # every simulated point silently fell back to the scalar
         # engine.  Cache-only replays (simulated == 0) are exempt --
         # there was nothing to pack.
+        buckets = stats.pack_signature_buckets
+        if not buckets:
+            why = "no lane packing was attempted"
+        elif max(buckets) < 2:
+            why = (f"all {len(buckets)} lane-signature buckets are "
+                   "singletons: no two grid points share a lane "
+                   "signature (vary fewer of app/topology at once)")
+        else:
+            width = args.batch_width or "the engine default"
+            why = (f"signature buckets {buckets} yielded only width-1 "
+                   f"chunks at batch width {width}")
         print(
             "STRICT BACKEND: --backend batch packed zero lane groups "
             f"({stats.scalar_fallbacks} scalar fallbacks) -- every "
-            "simulated point ran on the scalar engine",
+            f"simulated point ran on the scalar engine; {why}",
             file=sys.stderr,
         )
         return 2

@@ -83,6 +83,8 @@ class Core:
         send: SendFn,
         bank_node_for_block: Callable[[int], int],
         can_send: Optional[Callable[[], bool]] = None,
+        ni_queue=None,
+        ni_limit: int = 0,
     ):
         self.core_id = core_id
         self.node = node
@@ -91,6 +93,10 @@ class Core:
         self.send = send
         self._bank_node_for_block = bank_node_for_block
         self._can_send = can_send
+        #: direct view of the NI source queue (len(q) >= limit ≡ not
+        #: can_inject); skips two call frames per L1 miss when set.
+        self._ni_queue = ni_queue
+        self._ni_limit = ni_limit
 
         self.l1 = CacheArray(
             config.l1_effective_bytes, config.l1_associativity,
@@ -212,7 +218,12 @@ class Core:
             self.stats.mem_ops += 1
             self._advance_stream()
             return True
-        if self._can_send is not None and not self._can_send():
+        ni_queue = self._ni_queue
+        if ni_queue is None:
+            blocked = self._can_send is not None and not self._can_send()
+        else:
+            blocked = len(ni_queue) >= self._ni_limit
+        if blocked:
             # NI source queue / store buffer full: stall the stream.
             self.stats.ni_stall_cycles += 1
             self.l1.misses -= 1  # the retried lookup re-counts the miss

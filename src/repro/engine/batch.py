@@ -126,6 +126,11 @@ def pack_lanes(specs: Sequence[EngineSpec], max_width: int,
     """
     if max_width < 1:
         raise ConfigError(f"batch width must be >= 1, got {max_width}")
+    if not specs:
+        raise ConfigError(
+            "pack_lanes called with an empty spec list; nothing to pack "
+            "(callers with legitimately empty grids should skip packing)"
+        )
     buckets: Dict[Tuple, List[int]] = {}
     for i, spec in enumerate(specs):
         buckets.setdefault(spec.lane_signature(), []).append(i)
@@ -159,6 +164,12 @@ def pack_lanes(specs: Sequence[EngineSpec], max_width: int,
     if deltas is not None:
         deltas["pack_groups_delta"] = len(groups) - naive_groups
         deltas["pack_fallbacks_delta"] = len(fallbacks) - naive_fallbacks
+        # Diagnostic for --strict-backend: the signature-bucket sizes
+        # explain *why* zero groups packed (all-singleton buckets mean
+        # a fully heterogeneous grid; one big bucket at width 1 means
+        # packing was disabled by width).
+        deltas["signature_buckets"] = sorted(
+            (len(v) for v in buckets.values()), reverse=True)
     return groups, fallbacks
 
 
@@ -183,6 +194,9 @@ class BatchEngineStats:
     #: a negative fallback delta means lanes rescued from scalar
     pack_groups_delta: int = 0
     pack_fallbacks_delta: int = 0
+    #: lane-signature bucket sizes from the last packing, largest first
+    #: (diagnostic: explains why lanes did or did not pack)
+    signature_buckets: List[int] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
         return {
@@ -195,6 +209,7 @@ class BatchEngineStats:
             "kernel_lanes": self.kernel_lanes,
             "pack_groups_delta": self.pack_groups_delta,
             "pack_fallbacks_delta": self.pack_fallbacks_delta,
+            "signature_buckets": list(self.signature_buckets),
         }
 
 
@@ -243,12 +258,15 @@ class BatchEngine(ExecutionEngine):
     def run_specs(self, specs: Sequence[EngineSpec],
                   done: Optional[Callable[[int, Dict], None]] = None,
                   ) -> List[Dict]:
+        if not specs:
+            return []
         out: List[Optional[Dict]] = [None] * len(specs)
         deltas: Dict = {}
         groups, fallbacks = pack_lanes(specs, self.max_width,
                                        deltas=deltas)
         self.stats.pack_groups_delta += deltas["pack_groups_delta"]
         self.stats.pack_fallbacks_delta += deltas["pack_fallbacks_delta"]
+        self.stats.signature_buckets = deltas["signature_buckets"]
         for group in groups:
             results = self.run_group([specs[i] for i in group])
             for i, result in zip(group, results):
@@ -299,7 +317,8 @@ class BatchEngine(ExecutionEngine):
             lanes = [
                 self._build_lane(spec, tape_pool) for spec in specs
             ]
-            kernels = attach_group([sim for sim, _scope in lanes])
+            kernels = attach_group([sim for sim, _scope in lanes],
+                                   recorder=rec)
             self.stats.kernel_lanes += sum(
                 1 for k in kernels if k is not None)
             mark("batch.lane_build", t0)
@@ -415,7 +434,7 @@ class BatchEngine(ExecutionEngine):
                         if not kern.active:
                             kern.resume()
                         t0 = monotonic()
-                        self._advance_lane(sim, limit, budget)
+                        kern.krun(limit, budget)
                         if rec is not None:
                             rec.add("batch.kernel_step", t0,
                                     monotonic() - t0, lane=int(i))

@@ -38,6 +38,10 @@ TAG_PREWARM = "prewarm"
 TAG_HOT = "hot"
 TAG_SHARED = "shared"
 
+#: Accesses recorded ahead per tape extension once a tape is in the
+#: all-TAG_NEXT steady state (see :meth:`StreamTape.event`).
+_CHUNK = 64
+
 
 def _record_next(stream) -> Tuple:
     return stream.next_access()
@@ -66,13 +70,21 @@ _RECORDERS: Dict[str, Callable] = {
 class StreamTape:
     """Append-only event log backed by one lazily-built master stream."""
 
-    __slots__ = ("_factory", "_master", "log")
+    __slots__ = ("_factory", "_master", "log", "vals", "base")
 
     def __init__(self, factory: Callable[[], AccessStream]):
         self._factory = factory
         self._master = None
         #: recorded ``(tag, value)`` events, index = emission position
         self.log: List[Tuple[str, object]] = []
+        #: steady-state value shadow: once every further event is
+        #: TAG_NEXT, ``vals[i]`` is ``log[base + i][1]`` -- a bare
+        #: value list readers index without tuple unpacking or tag
+        #: checks (the invariant is maintained, not assumed: chunks
+        #: only extend ``vals`` while it is position-synced with the
+        #: log, so a mis-keyed tape degrades to the checked path).
+        self.vals: List[object] = []
+        self.base: int = -1
 
     def event(self, index: int, tag: str):
         """The value of emission ``index``; extends the master on first
@@ -94,6 +106,32 @@ class StreamTape:
             )
         if self._master is None:
             self._master = self._factory()
+        if tag is TAG_NEXT and len(log) >= 2 and log[-1][0] is TAG_NEXT:
+            # Steady state: once two consecutive emissions are plain
+            # accesses the prewarm protocol is over (its events all
+            # precede the access stream in the lifecycle order above)
+            # and every event from here on is TAG_NEXT.  Record a chunk
+            # ahead so the leading lane amortises the per-event call
+            # overhead; followers replay from the log as usual, and a
+            # tag mismatch on a mis-keyed tape still raises (the replay
+            # path checks every read).
+            master_next = self._master.next_access
+            append = log.append
+            vals = self.vals
+            if self.base < 0:
+                self.base = len(log)
+            if self.base + len(vals) == len(log):
+                vappend = vals.append
+                for _ in range(_CHUNK):
+                    v = master_next()
+                    append((TAG_NEXT, v))
+                    vappend(v)
+            else:  # pragma: no cover - mis-keyed tape fell out of
+                # steady state; keep vals frozen so its position
+                # invariant holds and readers take the checked path.
+                for _ in range(_CHUNK):
+                    append((TAG_NEXT, master_next()))
+            return log[index][1]
         value = _RECORDERS[tag](self._master)
         log.append((tag, value))
         return value
@@ -122,8 +160,18 @@ class TapeStream(AccessStream):
     def next_access(self):
         # Replay is the overwhelmingly common case once any sibling
         # lane has advanced past this position: serve it without the
-        # dispatch through StreamTape.event.
+        # dispatch through StreamTape.event.  In the all-TAG_NEXT
+        # steady state the value shadow skips even the tuple unpack
+        # and tag check (its position invariant guarantees log[pos]
+        # is a TAG_NEXT event carrying vals[pos - base]).
         pos = self._pos
+        tape = self._tape
+        i = pos - tape.base
+        if i >= 0:
+            vals = tape.vals
+            if i < len(vals):
+                self._pos = pos + 1
+                return vals[i]
         log = self._log
         if pos < len(log):
             tag, value = log[pos]

@@ -254,11 +254,13 @@ class Network:
             router = routers[node]
             popped = False
             while queue:
-                vc = router.free_vc(LOCAL, now)
-                if vc < 0:
-                    break
+                # Ready check first: it is the cheap predicate, and
+                # ``free_vc`` is a pure scan, so order cannot matter.
                 pkt = queue[0]
                 if pkt.ready_at > now:
+                    break
+                vc = router.free_vc(LOCAL, now)
+                if vc < 0:
                     break
                 queue.popleft()
                 popped = True
@@ -358,7 +360,7 @@ class Network:
                 if out_port == local:
                     accept = flow_at[node]
                     for i, e in enumerate(entries):
-                        ra = e[2].ready_at
+                        ra = e[3]  # == e[2].ready_at for live entries
                         if ra <= now:
                             if accept is None or accept(e[2]):
                                 candidates.append(e)
@@ -369,7 +371,7 @@ class Network:
                             min_ready = ra
                 else:
                     for i, e in enumerate(entries):
-                        ra = e[2].ready_at
+                        ra = e[3]  # == e[2].ready_at for live entries
                         if ra <= now:
                             candidates.append(e)
                             cand_index.append(i)
@@ -513,10 +515,29 @@ class Network:
                 del cand_index[:]
                 min_ready = never
                 blocked = False
-                if out_port == local:
+                if len(entries) == 1:
+                    # Single-occupant port -- the common case on a
+                    # lightly loaded mesh; same decisions as the
+                    # general loops below without the enumerate
+                    # machinery (kernel loop only).
+                    e = entries[0]
+                    ra = e[3]  # == e[2].ready_at for live entries
+                    if ra > now:
+                        min_ready = ra
+                    elif out_port != local:
+                        candidates.append(e)
+                        cand_index.append(0)
+                    else:
+                        accept = flow_at[node]
+                        if accept is None or accept(e[2]):
+                            candidates.append(e)
+                            cand_index.append(0)
+                        else:
+                            blocked = True
+                elif out_port == local:
                     accept = flow_at[node]
                     for i, e in enumerate(entries):
-                        ra = e[2].ready_at
+                        ra = e[3]  # == e[2].ready_at for live entries
                         if ra <= now:
                             if accept is None or accept(e[2]):
                                 candidates.append(e)
@@ -527,7 +548,7 @@ class Network:
                             min_ready = ra
                 else:
                     for i, e in enumerate(entries):
-                        ra = e[2].ready_at
+                        ra = e[3]  # == e[2].ready_at for live entries
                         if ra <= now:
                             candidates.append(e)
                             cand_index.append(i)

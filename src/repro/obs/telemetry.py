@@ -60,12 +60,15 @@ from repro.obs.metrics import MetricsRegistry
 #:   ``batch.scalar_fallback``  a point the packer sent to the scalar path
 #:   ``batch.kernel_step``  one lockstep slice of a kernel-attached lane
 #:   ``batch.scalar_sync``  one scalar-machine slice of a diverged lane
+#:   ``batch.bank_kernel``  group attach: bank-seam wiring (hooks + SoA)
+#:   ``batch.core_kernel``  group attach: core/scheduler-seam wiring
 SPAN_NAMES: Tuple[str, ...] = (
     "sweep.run", "sweep.plan", "sweep.dispatch", "point.cache_write",
     "chunk.queue_wait", "chunk.run", "engine.setup", "engine.simulate",
     "batch.lane_build", "batch.warmup", "batch.measure", "batch.collect",
     "batch.gc_reenable", "batch.scalar_fallback",
     "batch.kernel_step", "batch.scalar_sync",
+    "batch.bank_kernel", "batch.core_kernel",
 )
 
 

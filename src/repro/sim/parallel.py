@@ -47,7 +47,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
@@ -465,6 +465,9 @@ class SweepRunStats:
     #: fallback delta = lanes rescued from the scalar path)
     pack_groups_delta: int = 0
     pack_fallbacks_delta: int = 0
+    #: lane-signature bucket sizes from packing, largest first
+    #: (diagnostic: explains why zero groups packed under --strict)
+    pack_signature_buckets: List[int] = field(default_factory=list)
 
     @property
     def points_per_sec(self) -> float:
@@ -496,6 +499,7 @@ class SweepRunStats:
             "scalar_fallbacks": self.scalar_fallbacks,
             "pack_groups_delta": self.pack_groups_delta,
             "pack_fallbacks_delta": self.pack_fallbacks_delta,
+            "pack_signature_buckets": list(self.pack_signature_buckets),
             "workers": self.workers,
             "chunks": self.chunks,
             "wall_seconds": self.wall_seconds,
@@ -690,6 +694,7 @@ def run_points(
         stats.scalar_fallbacks = len(scalar_keys)
         stats.pack_groups_delta = pack_report["pack_groups_delta"]
         stats.pack_fallbacks_delta = pack_report["pack_fallbacks_delta"]
+        stats.pack_signature_buckets = pack_report["signature_buckets"]
     if tel is not None:
         tel.recorder.add("sweep.plan", t_plan, time.monotonic() - t_plan,
                          points=stats.points, misses=len(misses))

@@ -69,14 +69,17 @@ SWEEP_WARM_FLOOR = 10.0
 #: maximises tape sharing (every scheme of one app shares streams).
 BATCH_BENCH_WIDTHS: Tuple[int, ...] = (4, 8, 16)
 #: Machine-independent floor on the best batch-vs-serial-scalar speedup.
-#: With the vectorized lockstep kernels (:mod:`repro.engine.kernels`)
-#: the batch backend must be a genuine speedup, not merely "not a
-#: slowdown" (the pre-kernel floor was 0.7x).  Measured best on a
-#: single-CPU host is ~1.15x, bounded by the scalar per-lane core,
-#: bank and memory models that the bit-identity contract keeps exact
-#: (see DESIGN.md, "Vectorized kernels", for the ceiling analysis);
-#: the 3x aspirational target applies on multi-core hosts.
-BATCH_SWEEP_FLOOR = 1.0
+#: With the full-cycle kernel (:mod:`repro.engine.kernels`) the batch
+#: backend must be a genuine speedup, not merely "not a slowdown" (the
+#: pre-kernel floor was 0.7x, the routing-kernel floor 1.0x).  Measured
+#: best on a single-CPU host is ~1.18-1.24x across runs; the floor sits
+#: under the noise band of the slowest width, not at the aspirational
+#: 1.4x, because the serial-scalar *denominator* shares most of this
+#: codebase's hot-path work -- the ceiling with every batch-only cost
+#: at zero measures ~1.5x (see DESIGN.md, "Full-cycle kernel", for the
+#: breakdown).  The 3x target applies to future cross-lane SoA work
+#: and is recorded, not gated.
+BATCH_SWEEP_FLOOR = 1.1
 BATCH_TARGET_SPEEDUP = 3.0
 
 #: telemetry-overhead benchmark: the pure-reader target is <= 3%
@@ -378,6 +381,7 @@ def run_batch_sweep_throughput(cycles: int = 1200, warmup: int = 400,
             "lane_groups": stats.lane_groups,
             "lanes_packed": stats.lanes_packed,
             "scalar_fallbacks": stats.scalar_fallbacks,
+            "signature_buckets": list(stats.pack_signature_buckets),
             "identical_results": fp == serial_fp,
         })
     best = max(rows, key=lambda r: r["speedup"])
@@ -664,16 +668,24 @@ def check_regression(current: Dict, baseline: Dict,
             )
     batch = current.get("batch_throughput")
     if batch is not None and "skipped" not in batch:
-        # Identity is absolute; the speedup floor compares two same-host
-        # runs, so it transfers across machines.
-        if not batch.get("identical_results"):
+        # Identity is absolute -- mandatory at every measured width,
+        # failures name the width; the speedup floor compares two
+        # same-host runs, so it transfers across machines.
+        for row in batch.get("widths", ()):
+            if not row.get("identical_results"):
+                failures.append(
+                    f"batch-sweep-throughput: width {row.get('width')} "
+                    "batch/scalar result drift (identity is mandatory)"
+                )
+        if not batch.get("identical_results") and not batch.get("widths"):
             failures.append(
                 "batch-sweep-throughput: batch/scalar result drift"
             )
         if batch.get("best_speedup", 0.0) < BATCH_SWEEP_FLOOR:
             failures.append(
                 f"batch-sweep-throughput: best speedup "
-                f"{batch.get('best_speedup', 0.0):.2f}x fell below the "
+                f"{batch.get('best_speedup', 0.0):.2f}x "
+                f"(width {batch.get('best_width')}) fell below the "
                 f"{BATCH_SWEEP_FLOOR:.1f}x floor"
             )
     tel = current.get("telemetry_overhead")

@@ -56,6 +56,8 @@ class CMPSimulator:
         self.config = config
         self.workload = workload
         self.cycle = 0
+        #: cached for bank_for_block (hot in every bank-bound send)
+        self._n_banks = config.n_banks
         #: attached Observability session (repro.obs), or None -- the
         #: simulator never reads it except at scheduling/run boundaries
         self._obs = None
@@ -107,13 +109,11 @@ class CMPSimulator:
         }
         self.network.on_source_drain = self._on_source_drain
 
-        def can_send_from(node: int):
-            return lambda: self.network.can_inject(node)
-
         self.cores: List[Core] = [
             Core(i, self.topo.core_node(i), config, workload.streams[i],
                  self._send, self._bank_node_for_block,
-                 can_send=can_send_from(self.topo.core_node(i)))
+                 ni_queue=self.network.source_queues[self.topo.core_node(i)],
+                 ni_limit=config.ni_queue_entries)
             for i in range(n)
         ]
         self.banks: List[BankController] = [
@@ -209,7 +209,7 @@ class CMPSimulator:
     # ------------------------------------------------------------------
 
     def bank_for_block(self, block: int) -> int:
-        return block % self.config.n_banks
+        return block % self._n_banks
 
     def _bank_node_for_block(self, block: int) -> int:
         return self.topo.bank_node(self.bank_for_block(block))

@@ -130,7 +130,8 @@ class TestPackLanes:
         assert sorted(len(g) for g in groups) == [2, 2]
         assert fallbacks == []
         assert deltas == {"pack_groups_delta": 1,
-                          "pack_fallbacks_delta": -1}
+                          "pack_fallbacks_delta": -1,
+                          "signature_buckets": [4]}
 
     def test_lone_spec_falls_back(self):
         groups, fallbacks = self.pack(matrix_specs()[:1], 3)
@@ -158,6 +159,14 @@ class TestPackLanes:
     def test_width_below_one_rejected(self):
         with pytest.raises(ConfigError):
             self.pack(matrix_specs(), 0)
+
+    def test_empty_spec_list_rejected(self):
+        # An empty grid reaching the packer is a caller bug (callers
+        # with legitimately empty grids skip packing); a typed
+        # ConfigError surfaces it as CLI exit 2 instead of silently
+        # packing nothing.
+        with pytest.raises(ConfigError, match="empty spec list"):
+            self.pack([], 4)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Field-level identity properties of the full-cycle kernel.
+
+The batch backend is certified against summary byte-identity; these
+tests assert the stronger property the full-cycle kernel
+(:mod:`repro.engine.kernels`) is built to preserve: the *internal*
+instrumentation -- every ``CoreStats`` field of every core and every
+bank's ``service_intervals`` schedule -- is equal field-by-field to a
+scalar reference run, across the four paper schemes, randomized
+windows, and lane widths {1, 3, 8, 16}.  Width 1 exercises the
+all-scalar-fallback path (the packer sends singleton chunks to the
+scalar engine), so only summary identity applies there.
+
+The storm test forces *every* lane of a group off the common path
+mid-run (``sim.force_scalar_until`` on all lanes -- a dense-mask
+storm), then asserts both identity and that each lane re-entered the
+kernel after its scalar interlude.
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.cache.bank import BankStats
+from repro.cpu.core import CoreStats
+from repro.engine.base import ScalarEngine
+from repro.engine.batch import BatchEngine
+from repro.engine.spec import EngineSpec
+from repro.obs.telemetry import SpanRecorder
+from repro.sim.config import Scheme, make_config
+from repro.sim.experiment import app_factory
+from repro.sim.simulator import CMPSimulator
+
+FAST = {"mesh_width": 4, "capacity_scale": 1 / 64}
+SCHEMES = (Scheme.SRAM_64TSB, Scheme.STTRAM_4TSB,
+           Scheme.STTRAM_4TSB_SS, Scheme.STTRAM_4TSB_WB)
+
+CORE_FIELDS = CoreStats.__slots__
+BANK_FIELDS = BankStats.__slots__
+
+
+class CapturingEngine(BatchEngine):
+    """BatchEngine that keeps every lane simulator it builds, so the
+    tests can inspect internal stats after the group finishes."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.captured = []
+
+    def _build_lane(self, spec, tape_pool):
+        sim, scope = super()._build_lane(spec, tape_pool)
+        self.captured.append((spec, sim))
+        return sim, scope
+
+
+class StormEngine(BatchEngine):
+    """Forces EVERY lane off the common path mid-run: the dense-mask
+    storm case, where the whole group drops to scalar slices at once
+    and must re-enter the kernel afterwards."""
+
+    def __init__(self, until: int, **kwargs):
+        super().__init__(**kwargs)
+        self._until = until
+
+    def _build_lane(self, spec, tape_pool):
+        sim, scope = super()._build_lane(spec, tape_pool)
+        sim.force_scalar_until = self._until
+        return sim, scope
+
+
+def _scalar_reference(spec):
+    """One scalar run built exactly like a batch lane, minus the tape;
+    returns the live simulator plus its summary dict."""
+    from repro.sim import reset_state
+
+    reset_state()
+    config = make_config(spec.scheme, **spec.overrides_dict())
+    workload = app_factory(spec.app, seed=spec.seed)(config)
+    sim = CMPSimulator(config, workload)
+    summary = sim.run(spec.cycles, warmup=spec.warmup).to_dict()
+    return sim, summary
+
+
+def _assert_stats_equal(batch_sim, ref_sim, label):
+    for cid, (bc, rc) in enumerate(zip(batch_sim.cores, ref_sim.cores)):
+        for name in CORE_FIELDS:
+            assert getattr(bc.stats, name) == getattr(rc.stats, name), (
+                f"{label}: core {cid} CoreStats.{name} diverged"
+            )
+        assert bc.mshrs.full_stalls == rc.mshrs.full_stalls, (
+            f"{label}: core {cid} MSHR full_stalls diverged"
+        )
+    for b, (bb, rb) in enumerate(zip(batch_sim.banks, ref_sim.banks)):
+        assert bb.stats.service_intervals == rb.stats.service_intervals, (
+            f"{label}: bank {b} service_intervals diverged"
+        )
+
+
+@pytest.mark.parametrize("width", [1, 3, 8, 16])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_field_level_identity_across_schemes(width, seed):
+    rng = random.Random(seed * 1000 + width)
+    specs = [
+        EngineSpec.build(
+            "tpcc", scheme,
+            rng.randrange(150, 300),
+            2 * rng.randrange(25, 50) + 1,  # odd warm-up
+            seed, FAST,
+        )
+        for scheme in SCHEMES
+    ]
+
+    engine = CapturingEngine(max_width=width)
+    results = engine.run_specs(list(specs))
+
+    refs = [_scalar_reference(spec) for spec in specs]
+    assert results == [summary for _, summary in refs]
+
+    if width == 1:
+        # Singleton chunks all fall back to the scalar engine: no
+        # lanes are built, and summary identity above is the whole
+        # contract for this width.
+        assert engine.captured == []
+        assert engine.stats.scalar_fallbacks == len(specs)
+        return
+
+    assert len(engine.captured) == len(specs)
+    by_spec = {id(spec): sim for spec, sim in engine.captured}
+    for spec, (ref_sim, _summary) in zip(specs, refs):
+        batch_sim = by_spec[id(spec)]
+        _assert_stats_equal(
+            batch_sim, ref_sim,
+            f"w{width} seed{seed} {spec.scheme.value}",
+        )
+
+
+@pytest.mark.parametrize("seed", [5, 9])
+def test_dense_mask_storm_reenters_every_lane(seed):
+    rng = random.Random(seed)
+    specs = [
+        EngineSpec.build(
+            "tpcc", scheme,
+            rng.randrange(200, 320),
+            2 * rng.randrange(30, 55) + 1,
+            1, FAST,
+        )
+        for scheme in SCHEMES
+    ]
+    until = rng.randrange(60, 120)  # inside every lane's total budget
+
+    engine = StormEngine(until, slice_cycles=32)
+    recorder = SpanRecorder(worker=0)
+    engine.recorder = recorder
+    results = engine.run_group(list(specs))
+
+    assert results == ScalarEngine().run_specs(list(specs))
+    assert engine.stats.kernel_lanes == len(specs)
+
+    for lane in range(len(specs)):
+        syncs = [i for i, s in enumerate(recorder.spans)
+                 if s["name"] == "batch.scalar_sync"
+                 and s["args"]["lane"] == lane]
+        steps = [i for i, s in enumerate(recorder.spans)
+                 if s["name"] == "batch.kernel_step"
+                 and s["args"]["lane"] == lane]
+        assert syncs, f"lane {lane} never took a scalar-sync slice"
+        assert steps, f"lane {lane} never took a kernel slice"
+        # Re-entry: after the storm window closes every lane returns
+        # to the kernel rather than finishing on the scalar machine.
+        assert max(steps) > max(syncs), f"lane {lane} never re-entered"
